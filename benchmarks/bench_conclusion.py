@@ -1,0 +1,60 @@
+"""The paper's headline numbers (§1/§8).
+
+"OpenSER's performance using TCP increases from 13-51% to 50-78% of the
+performance using UDP" once the fd cache and priority-queue idle
+management are in place.  This benchmark computes exactly those before
+and after ranges across the TCP workloads at 100 and 1000 clients.
+"""
+
+from conftest import record_report
+from repro.analysis import ExperimentSpec
+from cells import run_cell
+
+TCP_SERIES = ("tcp-50", "tcp-500", "tcp-persistent")
+LOADS = (100, 1000)
+
+
+def run_all():
+    out = {"udp": {}, "before": {}, "after": {}}
+    for clients in LOADS:
+        out["udp"][clients] = run_cell(ExperimentSpec(
+            series="udp", clients=clients, seed=1)).throughput_ops_s
+        for series in TCP_SERIES:
+            out["before"][(series, clients)] = run_cell(ExperimentSpec(
+                series=series, clients=clients, fd_cache=False,
+                idle_strategy="scan", seed=1)).throughput_ops_s
+            out["after"][(series, clients)] = run_cell(ExperimentSpec(
+                series=series, clients=clients, fd_cache=True,
+                idle_strategy="pq", seed=1)).throughput_ops_s
+    return out
+
+
+def test_conclusion_ranges(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    before = [data["before"][(series, clients)] / data["udp"][clients]
+              for series in TCP_SERIES for clients in LOADS]
+    after = [data["after"][(series, clients)] / data["udp"][clients]
+             for series in TCP_SERIES for clients in LOADS]
+
+    lines = ["== Conclusion: TCP as a fraction of UDP, before vs after ==",
+             f"before (baseline):  {min(before) * 100:.0f}%-"
+             f"{max(before) * 100:.0f}%   (paper: 13%-51%)",
+             f"after (both fixes): {min(after) * 100:.0f}%-"
+             f"{max(after) * 100:.0f}%   (paper: 50%-78%)"]
+    record_report("conclusion_ranges", "\n".join(lines))
+    benchmark.extra_info["before_range"] = (round(min(before), 2),
+                                            round(max(before), 2))
+    benchmark.extra_info["after_range"] = (round(min(after), 2),
+                                           round(max(after), 2))
+
+    # Shape: the "before" range sits where the paper's did and the fixes
+    # materially improve every single (series, load) cell.
+    assert max(before) < 0.60
+    assert min(before) < 0.30
+    assert min(after) >= 0.35
+    assert max(after) <= 0.92
+    for series in TCP_SERIES:
+        for clients in LOADS:
+            improvement = (data["after"][(series, clients)] /
+                           data["before"][(series, clients)])
+            assert improvement > 1.15, (series, clients, improvement)

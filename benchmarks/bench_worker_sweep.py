@@ -1,0 +1,53 @@
+"""Ablation (§4.3): worker-pool sizing.
+
+"The number of worker processes was selected for the UDP and TCP
+experiments to maximize overall performance.  The server was configured
+to use 24 worker processes for UDP and 32 worker processes for TCP."
+
+The sweep shows the shape behind that choice: throughput rises until the
+pool covers the cores plus blocking time, then flattens (and eventually
+pays scheduling/locking overhead).  TCP wants a deeper pool than UDP
+because its workers block waiting on the supervisor.
+"""
+
+from conftest import record_report
+from repro.analysis import ExperimentSpec, run_cell
+
+UDP_POOLS = (2, 8, 24)
+TCP_POOLS = (2, 8, 32)
+
+
+def sweep(series, pools, **kwargs):
+    out = {}
+    for workers in pools:
+        result = run_cell(ExperimentSpec(
+            series=series, clients=60, workers=workers, seed=10,
+            warmup_us=200_000.0, measure_us=300_000.0, **kwargs))
+        out[workers] = result.throughput_ops_s
+    return out
+
+
+def test_worker_sweep(benchmark):
+    grids = benchmark.pedantic(
+        lambda: {"udp": sweep("udp", UDP_POOLS),
+                 "tcp": sweep("tcp-persistent", TCP_POOLS, fd_cache=True)},
+        rounds=1, iterations=1)
+
+    lines = ["== Ablation: worker-pool size (§4.3) =="]
+    for series, grid in grids.items():
+        row = "  ".join(f"{w}:{tput:.0f}" for w, tput in grid.items())
+        lines.append(f"{series:<5} {row}")
+        best = max(grid, key=grid.get)
+        lines.append(f"      best pool: {best} workers")
+        benchmark.extra_info[f"{series}_best"] = best
+    lines.append("paper: 24 workers for UDP, 32 for TCP maximized "
+                 "performance")
+    record_report("ablation_worker_sweep", "\n".join(lines))
+
+    for series, grid in grids.items():
+        pools = sorted(grid)
+        # Too few workers clearly starves the 4 cores.
+        assert grid[pools[0]] < grid[pools[-1]]
+        # The paper-sized pool is within 15% of the sweep's best.
+        paper_pool = 24 if series == "udp" else 32
+        assert grid[paper_pool] >= max(grid.values()) * 0.85

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Cost-model calibration helper (not a test).
+
+The single fitted target is UDP at 100 clients ≈ the paper's 33,695
+ops/s; the working-set term is additionally checked against the UDP
+decline at 1000 clients.  Everything else in Figs. 3–5 must *emerge*
+from the architecture models.  Run this after touching
+``repro.proxy.costs`` and compare:
+
+    python benchmarks/calibration.py
+"""
+
+from repro.analysis import ExperimentSpec, run_cell
+from repro.analysis.paper_data import PAPER_FIGURES
+
+
+def main() -> None:
+    print("calibration targets (UDP):")
+    for clients in (100, 1000):
+        result = run_cell(ExperimentSpec(series="udp", clients=clients))
+        paper = PAPER_FIGURES["fig3"]["udp"][clients]
+        print(f"  {clients:>5} clients: {result.throughput_ops_s:8.0f} "
+              f"ops/s   paper {paper}   "
+              f"({result.throughput_ops_s / paper * 100:.0f}%)")
+    print("\nemergent spot checks (TCP persistent, baseline):")
+    for clients in (100,):
+        result = run_cell(ExperimentSpec(series="tcp-persistent",
+                                         clients=clients))
+        udp = run_cell(ExperimentSpec(series="udp", clients=clients))
+        ratio = result.throughput_ops_s / udp.throughput_ops_s
+        print(f"  {clients:>5} clients: ratio {ratio:.2f} "
+              "(paper ~0.43; emergent, not fitted)")
+
+
+if __name__ == "__main__":
+    main()

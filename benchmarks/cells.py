@@ -1,0 +1,45 @@
+"""Memoized experiment cells shared across benchmarks.
+
+Several benchmarks need the same (series, clients, fixes) cell — the
+figure grids, the §8 conclusion ranges, the §6 ablations.  Simulations
+are deterministic given a seed, so identical specs give identical
+results; caching them makes the whole suite run each unique cell once.
+"""
+
+from typing import Dict, Tuple
+
+from repro.analysis import ExperimentSpec, run_cell as _run_cell
+
+_cache: Dict[Tuple, object] = {}
+
+
+def _key(spec: ExperimentSpec) -> Tuple:
+    return (spec.series, spec.clients, spec.fd_cache, spec.idle_strategy,
+            spec.supervisor_nice, spec.idle_timeout_us, spec.workers,
+            spec.seed, spec.warmup_us, spec.measure_us, spec.profile,
+            spec.stateful, spec.server_fd_limit,
+            tuple(sorted(spec.config_overrides.items())))
+
+
+def run_cell(spec: ExperimentSpec):
+    """Deterministic cell runner with cross-benchmark memoization."""
+    key = _key(spec)
+    if key not in _cache:
+        _cache[key] = _run_cell(spec)
+    return _cache[key]
+
+
+def run_figure(fd_cache: bool, idle_strategy: str,
+               series=("tcp-50", "tcp-500", "tcp-persistent", "udp"),
+               clients=(100, 500, 1000), seed: int = 1, **spec_overrides):
+    """Memoizing counterpart of :func:`repro.analysis.run_figure`."""
+    grid = {}
+    for name in series:
+        grid[name] = {}
+        for count in clients:
+            spec = ExperimentSpec(series=name, clients=count,
+                                  fd_cache=fd_cache,
+                                  idle_strategy=idle_strategy,
+                                  seed=seed, **spec_overrides)
+            grid[name][count] = run_cell(spec)
+    return grid

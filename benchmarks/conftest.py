@@ -1,0 +1,31 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures and appends
+its rendered table to ``benchmarks/results/``; a terminal-summary hook
+prints everything at the end of the run so ``pytest benchmarks/
+--benchmark-only`` leaves the full measured-vs-paper story in the log.
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_session_reports = []
+
+
+def record_report(name: str, text: str) -> None:
+    """Persist one experiment's rendered table and queue it for echo."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    _session_reports.append((name, text))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _session_reports:
+        return
+    terminalreporter.write_sep("=", "reproduction results (vs paper)")
+    for name, text in _session_reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

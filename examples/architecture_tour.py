@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Tour of all four proxy architectures (§3 + §6).
+
+Runs the same persistent-connection workload against:
+
+- the symmetric UDP worker pool (Fig. 2),
+- the TCP supervisor/worker architecture with both §5 fixes (Fig. 1),
+- the §6 multi-threaded TCP design (shared descriptors, no IPC),
+- the §6 SCTP design (kernel-managed associations, symmetric workers),
+
+and prints a profile excerpt for each, showing where the remaining CPU
+goes.
+
+Run:  python examples/architecture_tour.py
+"""
+
+from repro import ProxyConfig, Testbed, Workload, build_proxy
+from repro.clients import BenchmarkManager
+from repro.profiling.report import ProfileReport
+
+CLIENTS = 50
+
+ARCHS = [
+    ("UDP, symmetric workers", dict(transport="udp", workers=24)),
+    ("TCP, supervisor+workers (fixed)", dict(transport="tcp", workers=32,
+                                             fd_cache=True,
+                                             idle_strategy="pq")),
+    ("TCP, multi-threaded", dict(transport="tcp-threaded", workers=32)),
+    ("SCTP, symmetric workers", dict(transport="sctp", workers=24)),
+]
+
+
+def main() -> None:
+    print(f"One workload ({CLIENTS} callers, persistent connections), "
+          "four architectures:\n")
+    rows = []
+    for name, config_kwargs in ARCHS:
+        bed = Testbed(seed=5, profile=True)
+        proxy = build_proxy(bed.server,
+                            ProxyConfig(**config_kwargs)).start()
+        workload = Workload(clients=CLIENTS, warmup_us=100_000.0,
+                            measure_us=250_000.0)
+        result = BenchmarkManager(bed, proxy, workload).run()
+        rows.append((name, result))
+        print(ProfileReport(result.profile, name).render(6))
+        print()
+    print("summary:")
+    udp_tput = rows[0][1].throughput_ops_s
+    for name, result in rows:
+        print(f"  {name:<34} {result.throughput_ops_s:8.0f} ops/s "
+              f"({result.throughput_ops_s / udp_tput * 100:3.0f}% of UDP)")
+
+
+if __name__ == "__main__":
+    main()

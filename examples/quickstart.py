@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: benchmark the OpenSER model over UDP and TCP.
+
+Builds the paper's testbed (one 4-core server, three client machines on a
+gigabit LAN), starts the proxy in each transport's architecture, drives
+100 caller/callee pairs through register + call phases, and prints the
+measured throughput — the paper's headline comparison in ~a minute.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ProxyConfig, Testbed, Workload, build_proxy
+from repro.clients import BenchmarkManager
+
+CLIENTS = 50
+WINDOW_US = 200_000.0
+
+
+def run(transport: str, workers: int, **config_kwargs) -> float:
+    bed = Testbed(seed=1)
+    config = ProxyConfig(transport=transport, workers=workers,
+                         **config_kwargs)
+    proxy = build_proxy(bed.server, config).start()
+    workload = Workload(clients=CLIENTS, warmup_us=100_000.0,
+                        measure_us=WINDOW_US)
+    result = BenchmarkManager(bed, proxy, workload).run()
+    print(f"  {transport:>4} ({workers} workers): "
+          f"{result.throughput_ops_s:8.0f} transactions/s   "
+          f"(cpu {result.cpu_utilization * 100:.0f}%, "
+          f"{result.calls_failed} failed calls)")
+    return result.throughput_ops_s
+
+
+def main() -> None:
+    print(f"SIP proxy throughput, {CLIENTS} concurrent callers:")
+    udp = run("udp", workers=24)
+    tcp = run("tcp", workers=32)
+    print(f"\nTCP achieves {tcp / udp * 100:.0f}% of UDP throughput in the "
+          "baseline architecture —")
+    print("the paper explains why, and examples/fixes_comparison.py shows "
+          "the repairs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — a reproduction of "Explaining the Impact of Network Transport
+Protocols on SIP Proxy Performance" (Ram, Fedeli, Cox, Rixner — ISPASS
+2008).
+
+The package is a discrete-event simulation of the paper's entire testbed:
+a 4-core SIP proxy server modeled after OpenSER (both its UDP and TCP
+process architectures, plus the fd-cache and priority-queue fixes the
+paper introduces and the §6 threaded/SCTP alternatives), the Linux
+scheduling and IPC behaviour those architectures stress, a gigabit LAN,
+and thousands of benchmark phones.
+
+Quickstart::
+
+    from repro import Testbed, ProxyConfig, Workload, build_proxy
+    from repro.clients import BenchmarkManager
+
+    bed = Testbed(seed=1)
+    proxy = build_proxy(bed.server, ProxyConfig(transport="udp",
+                                                workers=24)).start()
+    result = BenchmarkManager(bed, proxy, Workload(clients=100)).run()
+    print(result.throughput_ops_s)
+"""
+
+from repro.clients import BenchmarkManager, BenchmarkResult, Phone, Workload
+from repro.proxy import CostModel, ProxyConfig, ProxyStats, build_proxy
+from repro.testbed import Testbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Testbed",
+    "ProxyConfig",
+    "CostModel",
+    "ProxyStats",
+    "build_proxy",
+    "Workload",
+    "BenchmarkResult",
+    "BenchmarkManager",
+    "Phone",
+    "__version__",
+]

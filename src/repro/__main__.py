@@ -1,0 +1,79 @@
+"""Command-line entry point: run one experimental cell.
+
+Examples::
+
+    python -m repro --series udp --clients 100
+    python -m repro --series tcp-50 --clients 500 --fd-cache --idle pq
+    python -m repro --series tcp-persistent --nice 0 --profile
+"""
+
+import argparse
+import sys
+
+from repro.analysis.experiments import SERIES_DEF, ExperimentSpec, run_cell
+from repro.profiling.report import ProfileReport
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run one cell of the ISPASS 2008 SIP-proxy study.")
+    parser.add_argument("--series", default="udp",
+                        choices=sorted(SERIES_DEF),
+                        help="workload series (transport + connection reuse)")
+    parser.add_argument("--clients", type=int, default=100,
+                        help="concurrent caller/callee pairs")
+    parser.add_argument("--fd-cache", action="store_true",
+                        help="enable the Fig. 4 descriptor cache")
+    parser.add_argument("--idle", default="scan", choices=("scan", "pq"),
+                        help="idle-connection strategy (Fig. 5: pq)")
+    parser.add_argument("--nice", type=int, default=-20,
+                        help="TCP supervisor nice level (§4.3)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: paper's 24/32)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--measure-us", type=float, default=None,
+                        help="measurement window, µs of simulated time")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the simulated OProfile top functions")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = ExperimentSpec(
+        series=args.series,
+        clients=args.clients,
+        fd_cache=args.fd_cache,
+        idle_strategy=args.idle,
+        supervisor_nice=args.nice,
+        workers=args.workers,
+        seed=args.seed,
+        measure_us=args.measure_us,
+        profile=args.profile,
+    )
+    result = run_cell(spec)
+    print(f"series:       {args.series} "
+          f"({spec.transport()}, ops/conn={spec.ops_per_conn()})")
+    print(f"clients:      {args.clients}")
+    print(f"throughput:   {result.throughput_ops_s:,.0f} transactions/s "
+          f"({result.ops} ops in {result.duration_us / 1e6:.2f}s)")
+    print(f"cpu:          {result.cpu_utilization * 100:.0f}% of 4 cores")
+    print(f"calls:        {result.calls_completed} completed, "
+          f"{result.calls_failed} failed")
+    interesting = {name: value for name, value in result.proxy_stats.items()
+                   if value and name in (
+                       "fd_requests", "fd_cache_hits", "retransmissions_sent",
+                       "retransmissions_absorbed", "accepts",
+                       "conns_closed_idle", "accept_failures")}
+    if interesting:
+        print(f"server:       {interesting}")
+    if args.profile:
+        print()
+        print(ProfileReport(result.profile, f"{args.series} profile")
+              .render(12))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Experiment drivers and result rendering.
+
+:mod:`~repro.analysis.experiments` runs the paper's cells;
+:mod:`~repro.analysis.paper_data` holds the published numbers;
+:mod:`~repro.analysis.tables` renders measured-vs-paper tables for every
+figure.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentSpec,
+    run_cell,
+    run_figure,
+    TCP_WORKERS,
+    UDP_WORKERS,
+)
+from repro.analysis.paper_data import PAPER_FIGURES, SERIES, CLIENT_COUNTS
+from repro.analysis.tables import render_figure, render_comparison
+
+__all__ = [
+    "ExperimentSpec",
+    "run_cell",
+    "run_figure",
+    "UDP_WORKERS",
+    "TCP_WORKERS",
+    "PAPER_FIGURES",
+    "SERIES",
+    "CLIENT_COUNTS",
+    "render_figure",
+    "render_comparison",
+]

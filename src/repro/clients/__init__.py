@@ -1,0 +1,13 @@
+"""The benchmark workload substrate (§4.2).
+
+Thousands of SIP phones spread over the three client machines, driven by
+a manager that registers every phone (phase 1, unmeasured), then lets the
+callers place calls through the proxy and measures completed transactions
+per second over a window (phase 2).
+"""
+
+from repro.clients.workload import Workload, BenchmarkResult
+from repro.clients.phone import Phone
+from repro.clients.manager import BenchmarkManager
+
+__all__ = ["Workload", "BenchmarkResult", "Phone", "BenchmarkManager"]

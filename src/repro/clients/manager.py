@@ -1,0 +1,138 @@
+"""The benchmark manager (§4.2).
+
+Orchestrates an experiment exactly as the paper describes: create all
+phones, have every phone register (phase 1, excluded from results),
+synchronize the callers, then measure completed transactions per second
+over a window of the call phase (phase 2).
+"""
+
+from typing import List, Optional
+
+from repro.clients.phone import Phone
+from repro.clients.workload import BenchmarkResult, Workload, percentiles
+from repro.sim.events import Event
+from repro.sip.transaction import TransactionTimers
+
+CALLER_PORT_BASE = 20000
+CALLEE_PORT_BASE = 40000
+REGISTER_STAGGER_US = 200_000.0
+
+
+class BenchmarkManager:
+    """Runs one workload cell against one started proxy."""
+
+    def __init__(self, testbed, proxy, workload: Workload,
+                 timers: Optional[TransactionTimers] = None) -> None:
+        workload.validate()
+        self.testbed = testbed
+        self.proxy = proxy
+        self.workload = workload
+        self.timers = timers or TransactionTimers()
+        self.engine = testbed.engine
+        self.go_event = Event(self.engine, name="manager.go")
+        self.callers: List[Phone] = []
+        self.callees: List[Phone] = []
+
+    # ------------------------------------------------------------------
+    def setup_phones(self) -> None:
+        """Create and start caller/callee pairs across the client machines."""
+        workload = self.workload
+        transport = self.proxy.config.transport
+        phone_transport = "tcp" if transport == "tcp-threaded" else transport
+        rng = self.testbed.rng.stream("phones")
+        for index in range(workload.clients):
+            stagger = rng.uniform(0.0, REGISTER_STAGGER_US)
+            common = dict(
+                domain=self.proxy.config.domain,
+                transport=phone_transport,
+                proxy_addr=self.testbed.server.address,
+                proxy_port=self.proxy.config.port,
+                ops_per_conn=workload.ops_per_conn,
+                timers=self.timers,
+                call_hold_us=workload.call_hold_us,
+                ring_delay_us=workload.ring_delay_us,
+                think_time_us=workload.think_time_us,
+            )
+            caller = Phone(
+                machine=self.testbed.client_for(index),
+                user=f"caller{index}",
+                port=CALLER_PORT_BASE + index,
+                rng=self.testbed.rng.stream(f"phone-caller{index}"),
+                role="caller",
+                peer_user=f"callee{index}",
+                go_event=self.go_event,
+                start_delay_us=stagger,
+                **common,
+            )
+            callee = Phone(
+                machine=self.testbed.client_for(index + 1),
+                user=f"callee{index}",
+                port=CALLEE_PORT_BASE + index,
+                rng=self.testbed.rng.stream(f"phone-callee{index}"),
+                role="callee",
+                start_delay_us=stagger,
+                **common,
+            )
+            self.callers.append(caller.start())
+            self.callees.append(callee.start())
+
+    # ------------------------------------------------------------------
+    def run(self) -> BenchmarkResult:
+        """Execute both phases and return the measured result."""
+        if not self.callers:
+            self.setup_phones()
+        self._registration_phase()
+        self.go_event.fire(None)
+        engine = self.engine
+        engine.run(until=engine.now + self.workload.warmup_us)
+        # -- measured window ------------------------------------------------
+        t0 = engine.now
+        ops0 = self._total_ops()
+        stats0 = self.proxy.stats.snapshot()
+        busy0 = self.testbed.server.scheduler.total_busy_us()
+        profile0 = (self.testbed.profiler.snapshot()
+                    if self.testbed.profiler is not None else {})
+        engine.run(until=t0 + self.workload.measure_us)
+        duration = engine.now - t0
+        ops = self._total_ops() - ops0
+        profile = (self.testbed.profiler.delta(profile0)
+                   if self.testbed.profiler is not None else {})
+        return BenchmarkResult(
+            throughput_ops_s=ops / (duration / 1e6) if duration > 0 else 0.0,
+            ops=ops,
+            duration_us=duration,
+            calls_completed=sum(p.calls_completed for p in self.callers),
+            calls_failed=sum(p.calls_failed for p in self.callers),
+            registration_failures=sum(
+                p.registration_failures
+                for p in self.callers + self.callees),
+            cpu_utilization=self.testbed.server.cpu_utilization(
+                busy0, duration),
+            proxy_stats=self.proxy.stats.delta(stats0),
+            profile=profile,
+            setup_latency_us=percentiles(
+                [sample for phone in self.callers
+                 for sample in phone.setup_latencies_us]),
+        )
+
+    def stop(self) -> None:
+        for phone in self.callers + self.callees:
+            phone.stop()
+
+    # ------------------------------------------------------------------
+    def _registration_phase(self) -> None:
+        engine = self.engine
+        deadline = engine.now + self.workload.register_deadline_us
+        phones = self.callers + self.callees
+        while engine.now < deadline:
+            if all(p.registered for p in phones):
+                return
+            engine.run(until=min(engine.now + 100_000.0, deadline))
+        unregistered = sum(1 for p in phones if not p.registered)
+        if unregistered:
+            raise RuntimeError(
+                f"{unregistered}/{len(phones)} phones failed to register "
+                f"within {self.workload.register_deadline_us / 1e6:.1f}s")
+
+    def _total_ops(self) -> int:
+        return sum(p.ops_completed for p in self.callers)

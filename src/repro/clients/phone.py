@@ -1,0 +1,424 @@
+"""A simulated SIP phone (UAC + UAS).
+
+Phones run on the client machines with uncontended CPU ("the client
+machines ... were never the bottleneck", §4.1) but speak real SIP through
+real transports: a caller registers, then loops INVITE→ACK→BYE calls to
+its designated callee; a callee answers INVITEs (180 then 200), absorbs
+retransmissions, and acknowledges BYEs — all via the RFC 3261 transaction
+machines in :mod:`repro.sip.transaction`.
+
+TCP behaviour mirrors the paper's workloads: the phone keeps one outbound
+connection to the proxy for everything it sends; with ``ops_per_conn``
+set, it opens a *new* connection after that many operations and abandons
+the old one without closing it (§4.3: "the clients never closed their
+connections"), re-REGISTERing over the new connection so the proxy's
+aliases and bindings follow.  Each phone also listens on its advertised
+port so the proxy can dial in when no live connection remains.
+"""
+
+from typing import Dict, Optional
+
+from repro.net.sctp import SctpEndpoint
+from repro.net.tcp import TcpError, TcpListener, connect as tcp_connect
+from repro.net.udp import UdpEndpoint
+from repro.sim.events import Event, Signal
+from repro.sim.primitives import Sleep, Wait
+from repro.sip.builder import MessageBuilder
+from repro.sip.dialogs import Dialog
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.parser import SipParseError, StreamFramer, parse_message
+from repro.sip.transaction import (
+    ClientTransaction,
+    ServerTransaction,
+    TransactionTimers,
+)
+
+_SEND_RETRY_US = 1000.0
+
+
+class Phone:
+    """One benchmark phone."""
+
+    def __init__(
+        self,
+        machine,
+        user: str,
+        domain: str,
+        port: int,
+        transport: str,
+        proxy_addr: str,
+        proxy_port: int,
+        rng,
+        role: str = "caller",
+        peer_user: Optional[str] = None,
+        ops_per_conn: Optional[int] = None,
+        go_event: Optional[Event] = None,
+        timers: Optional[TransactionTimers] = None,
+        start_delay_us: float = 0.0,
+        call_hold_us: float = 0.0,
+        ring_delay_us: float = 0.0,
+        think_time_us: float = 0.0,
+    ) -> None:
+        if role not in ("caller", "callee"):
+            raise ValueError(f"unknown role {role!r}")
+        if role == "caller" and peer_user is None:
+            raise ValueError("a caller needs a peer_user")
+        self.machine = machine
+        self.engine = machine.engine
+        self.user = user
+        self.domain = domain
+        self.port = port
+        self.transport = transport
+        self.proxy_addr = proxy_addr
+        self.proxy_port = proxy_port
+        self.rng = rng
+        self.role = role
+        self.peer_user = peer_user
+        self.ops_per_conn = ops_per_conn
+        self.go_event = go_event
+        self.timers = timers or TransactionTimers()
+        self.start_delay_us = start_delay_us
+        self.call_hold_us = call_hold_us
+        self.ring_delay_us = ring_delay_us
+        self.think_time_us = think_time_us
+        self.reliable = transport in ("tcp", "sctp")
+        self.builder = MessageBuilder(user, domain, machine.name, port,
+                                      transport, rng)
+        # -- state -------------------------------------------------------
+        self.registered = False
+        self.registration_failures = 0
+        self.running = True
+        self.ops_completed = 0      #: caller: completed transactions
+        self.calls_completed = 0
+        self.calls_failed = 0
+        self.retransmissions = 0    #: UAC request retransmissions sent
+        #: call-setup times (INVITE sent → 2xx received), µs; bounded
+        self.setup_latencies_us = []
+        self._latency_cap = 4096
+        self.handled_ops = 0        #: callee: transactions it served
+        self._ops_on_conn = 0
+        self._client_txns: Dict[str, ClientTransaction] = {}
+        self._uas_invites: Dict[str, ServerTransaction] = {}
+        self._reconnect_signal = Signal(self.engine,
+                                        name=f"{user}.reconnect")
+        self._reconnect_wanted = False
+        self.processes = []
+        # -- transport plumbing -------------------------------------------
+        self.socket = None
+        self.endpoint = None
+        self.assoc = None
+        self.listener = None
+        self.conn = None
+        if transport == "udp":
+            self.socket = UdpEndpoint(machine, port)
+        elif transport == "sctp":
+            self.endpoint = SctpEndpoint(machine, port)
+        elif transport == "tcp":
+            self.listener = TcpListener(machine, port)
+        else:
+            raise ValueError(f"unknown transport {transport!r}")
+
+    # ==================================================================
+    # lifecycle
+    # ==================================================================
+    def start(self) -> "Phone":
+        spawn = self.machine.spawn_light
+        self.processes.append(
+            spawn(self._main_body(), f"{self.user}-main").start())
+        if self.transport == "udp":
+            self.processes.append(
+                spawn(self._udp_recv_loop(), f"{self.user}-rx").start())
+        elif self.transport == "sctp":
+            self.processes.append(
+                spawn(self._sctp_recv_loop(), f"{self.user}-rx").start())
+        elif self.transport == "tcp":
+            self.processes.append(
+                spawn(self._accept_loop(), f"{self.user}-acc").start())
+            self.processes.append(
+                spawn(self._reconnect_loop(), f"{self.user}-rc").start())
+        return self
+
+    def stop(self) -> None:
+        self.running = False
+        for proc in self.processes:
+            proc.kill()
+
+    def _main_body(self):
+        if self.start_delay_us > 0:
+            yield Sleep(self.start_delay_us)
+        yield from self._transport_setup()
+        yield from self._register()
+        if self.role != "caller":
+            return
+        if self.go_event is not None:
+            yield Wait(self.go_event)
+        while self.running:
+            yield from self._do_call()
+            if self.think_time_us > 0:
+                yield Sleep(self.think_time_us)
+
+    # ==================================================================
+    # transports
+    # ==================================================================
+    def _transport_setup(self):
+        if self.transport == "tcp":
+            yield from self._open_conn()
+        elif self.transport == "sctp":
+            self.assoc = yield from self.endpoint.connect(self.proxy_addr,
+                                                          self.proxy_port)
+        return None
+        yield  # pragma: no cover
+
+    def _open_conn(self):
+        """Open a fresh connection to the proxy (abandoning any old one)."""
+        try:
+            conn = yield from tcp_connect(self.machine, self.proxy_addr,
+                                          self.proxy_port)
+        except TcpError:
+            self.registration_failures += 1
+            return
+        self.conn = conn
+        self._ops_on_conn = 0
+        proc = self.machine.spawn_light(self._conn_reader(conn),
+                                        f"{self.user}-rdr")
+        self.processes.append(proc.start())
+
+    def _conn_reader(self, conn):
+        framer = StreamFramer()
+        while True:
+            data = yield from conn.recv(65536)
+            if data == "":
+                self._on_conn_dead(conn)
+                return
+            try:
+                texts = framer.feed(data)
+            except SipParseError:
+                self._on_conn_dead(conn)
+                return
+            for text in texts:
+                self._dispatch(text)
+
+    def _on_conn_dead(self, conn) -> None:
+        """The server closed a connection under us: fail anything waiting
+        on it and arrange a fresh connection (as real phones do)."""
+        if self.conn is not conn:
+            return  # an abandoned connection finally being reaped
+        for txn in list(self._client_txns.values()):
+            txn.abort()
+        self._reconnect_wanted = True
+        self._reconnect_signal.fire()
+
+    def _accept_loop(self):
+        """Accept proxy-initiated connections and read them too."""
+        while True:
+            conn = yield from self.listener.accept()
+            proc = self.machine.spawn_light(self._conn_reader(conn),
+                                            f"{self.user}-in-rdr")
+            self.processes.append(proc.start())
+
+    def _udp_recv_loop(self):
+        while True:
+            dgram = yield from self.socket.recvfrom()
+            self._dispatch(dgram.payload)
+
+    def _sctp_recv_loop(self):
+        while True:
+            __, payload = yield from self.endpoint.recvmsg()
+            self._dispatch(payload)
+
+    def _send_text(self, text: str) -> None:
+        """Non-blocking send toward the proxy (transaction send_fn)."""
+        if self.transport == "udp":
+            self.socket.sendto(text, self.proxy_addr, self.proxy_port)
+        elif self.transport == "sctp":
+            if self.assoc is not None and self.assoc.established:
+                self.endpoint.sendmsg(self.assoc, text)
+        else:
+            conn = self.conn
+            if conn is None or not conn.open_for_send:
+                return
+            if not conn.try_send(text):
+                # Flow-controlled: retry shortly (phones are not the
+                # bottleneck, so a plain timer retry suffices).
+                self.engine.schedule(_SEND_RETRY_US, self._retry_send,
+                                     conn, text)
+
+    def _retry_send(self, conn, text: str) -> None:
+        if conn.open_for_send and not conn.try_send(text):
+            self.engine.schedule(_SEND_RETRY_US, self._retry_send, conn, text)
+
+    # ==================================================================
+    # registration
+    # ==================================================================
+    def _register(self, attempts: int = 3):
+        for __ in range(attempts):
+            request = self.builder.register()
+            final = yield from self._run_client_txn(request)
+            if final is not None and final.is_success:
+                self.registered = True
+                return
+            self.registration_failures += 1
+        return
+
+    # ==================================================================
+    # caller side
+    # ==================================================================
+    def _do_call(self):
+        if self.transport == "tcp" and \
+                (self.conn is None or not self.conn.open_for_send):
+            # Our connection died (e.g. the overloaded server shed it):
+            # re-establish before calling.
+            yield Sleep(1000.0)
+            yield from self._open_conn()
+            yield from self._register(attempts=1)
+            if self.conn is None or not self.conn.open_for_send:
+                self.calls_failed += 1
+                yield Sleep(10_000.0)
+                return
+        invite = self.builder.invite(self.peer_user)
+        invite_sent_at = self.engine.now
+        final = yield from self._run_client_txn(invite)
+        if final is None or not final.is_success:
+            self.calls_failed += 1
+            yield Sleep(10_000.0)  # brief backoff after a failed call
+            return
+        if len(self.setup_latencies_us) < self._latency_cap:
+            self.setup_latencies_us.append(self.engine.now - invite_sent_at)
+        self._count_op()
+        ack = self.builder.ack_for(invite, final)
+        self._send_text(ack.render())
+        dialog = Dialog.from_invite_success(invite, final)
+        if self.call_hold_us > 0:
+            yield Sleep(self.call_hold_us)
+        bye = self.builder.bye(dialog)
+        final = yield from self._run_client_txn(bye)
+        if final is None or not final.is_success:
+            self.calls_failed += 1
+            return
+        self._count_op()
+        self.calls_completed += 1
+        yield from self._maybe_reconnect()
+
+    def _run_client_txn(self, request: SipRequest):
+        """Generator: run one client transaction; returns the final
+        response or None on timeout."""
+        done = Event(self.engine, name=f"{self.user}.txn")
+
+        def on_response(response: SipResponse) -> None:
+            if response.is_final and not done.fired:
+                done.fire(response)
+
+        def on_timeout() -> None:
+            if not done.fired:
+                done.fire(None)
+
+        txn = ClientTransaction(self.engine, request, self._send_text,
+                                self.reliable, self.timers,
+                                on_response=on_response,
+                                on_timeout=on_timeout)
+        self._client_txns[txn.branch] = txn
+        txn.start()
+        final = yield Wait(done)
+        self._client_txns.pop(txn.branch, None)
+        self.retransmissions += txn.retransmissions
+        txn.cancel()
+        return final
+
+    def _count_op(self) -> None:
+        self.ops_completed += 1
+        self._ops_on_conn += 1
+
+    def _maybe_reconnect(self):
+        if self.transport != "tcp" or self.ops_per_conn is None:
+            return
+        if self._ops_on_conn < self.ops_per_conn:
+            return
+        # Open a new connection; the old one is abandoned, never closed
+        # (§4.3) — the server's idle management must deal with it.
+        yield from self._open_conn()
+        yield from self._register(attempts=1)
+
+    # ==================================================================
+    # callee side (reactive)
+    # ==================================================================
+    def _dispatch(self, text: str) -> None:
+        try:
+            message = parse_message(text)
+        except SipParseError:
+            return
+        if not message.is_request:
+            via = message.top_via
+            branch = via.branch if via is not None else None
+            txn = self._client_txns.get(branch)
+            if txn is not None and txn.matches(message):
+                txn.handle_response(message)
+            return
+        method = message.method
+        if method == "INVITE":
+            self._handle_invite(message)
+        elif method == "ACK":
+            self._handle_ack(message)
+        elif method == "BYE":
+            self._handle_bye(message)
+
+    def _handle_invite(self, invite: SipRequest) -> None:
+        call_id = invite.call_id
+        existing = self._uas_invites.get(call_id)
+        if existing is not None:
+            existing.handle_request_retransmission()
+            return
+        st = ServerTransaction(self.engine, invite, self._send_text,
+                               self.reliable, self.timers)
+        self._uas_invites[call_id] = st
+        tag = self.builder.new_tag()
+        st.respond(self.builder.response_for(invite, 180, to_tag=tag))
+        ok = self.builder.response_for(invite, 200, to_tag=tag,
+                                       with_contact=True)
+        if self.ring_delay_us > 0:
+            self.engine.schedule(self.ring_delay_us, st.respond, ok)
+        else:
+            st.respond(ok)
+        self._note_handled_op()
+
+    def _handle_ack(self, ack: SipRequest) -> None:
+        st = self._uas_invites.get(ack.call_id)
+        if st is not None:
+            st.handle_ack()
+            # Keep the terminated transaction around to absorb INVITE
+            # retransmissions (RFC 3261 timer I), then forget the call.
+            self.engine.schedule(self.timers.timeout, self._forget_call,
+                                 ack.call_id)
+
+    def _forget_call(self, call_id: str) -> None:
+        self._uas_invites.pop(call_id, None)
+
+    def _handle_bye(self, bye: SipRequest) -> None:
+        st = ServerTransaction(self.engine, bye, self._send_text,
+                               self.reliable, self.timers)
+        st.respond(self.builder.response_for(bye, 200))
+        self._note_handled_op()
+
+    def _note_handled_op(self) -> None:
+        self.handled_ops += 1
+        self._ops_on_conn += 1
+        if (self.transport == "tcp" and self.ops_per_conn is not None
+                and self.role == "callee"
+                and self._ops_on_conn >= self.ops_per_conn
+                and not self._reconnect_wanted):
+            self._reconnect_wanted = True
+            self._reconnect_signal.fire()
+
+    def _reconnect_loop(self):
+        """Reconnection runs in its own process, because both triggers
+        (the callee's ops_per_conn rotation and a server-closed
+        connection) come from synchronous dispatch paths."""
+        while True:
+            if not self._reconnect_wanted:
+                yield Wait(self._reconnect_signal)
+            self._reconnect_wanted = False
+            yield from self._open_conn()
+            yield from self._register(attempts=1)
+
+    def __repr__(self) -> str:
+        return (f"<Phone {self.user} {self.role}/{self.transport} "
+                f"ops={self.ops_completed or self.handled_ops}>")

@@ -1,0 +1,69 @@
+"""Workload specifications and benchmark results."""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Workload:
+    """One experimental cell.
+
+    ``clients`` counts concurrent *callers* (each caller has a dedicated
+    callee, as the §4.2 manager pairs them).  ``ops_per_conn`` is the TCP
+    connection-reuse knob from Fig. 3–5: ``None`` means persistent
+    connections; 50/500 reconnect after that many operations, abandoning
+    (never closing) the old connection, as the paper's clients did.
+    """
+
+    clients: int = 100
+    ops_per_conn: Optional[int] = None
+    warmup_us: float = 150_000.0
+    measure_us: float = 400_000.0
+    register_deadline_us: float = 20_000_000.0
+    call_hold_us: float = 0.0      #: time between 200-OK and BYE
+    ring_delay_us: float = 0.0     #: callee's 180→200 delay
+    think_time_us: float = 0.0     #: caller pause between calls
+
+    def validate(self) -> None:
+        if self.clients < 1:
+            raise ValueError("need at least one client pair")
+        if self.ops_per_conn is not None and self.ops_per_conn < 1:
+            raise ValueError("ops_per_conn must be positive")
+        if self.measure_us <= 0:
+            raise ValueError("measurement window must be positive")
+
+
+@dataclass
+class BenchmarkResult:
+    """What one run of one cell produced."""
+
+    throughput_ops_s: float
+    ops: int
+    duration_us: float
+    calls_completed: int
+    calls_failed: int
+    registration_failures: int
+    cpu_utilization: float
+    proxy_stats: Dict[str, int] = field(default_factory=dict)
+    profile: Dict[str, float] = field(default_factory=dict)
+    #: call-setup latency percentiles (µs): {"p50": ..., "p95": ..., "p99": ...}
+    setup_latency_us: Dict[str, float] = field(default_factory=dict)
+
+
+def percentiles(samples, points=(50, 95, 99)) -> Dict[str, float]:
+    """Nearest-rank percentiles of ``samples`` (empty dict if no samples)."""
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    out = {}
+    for point in points:
+        rank = max(0, min(len(ordered) - 1,
+                          math.ceil(point / 100.0 * len(ordered)) - 1))
+        out[f"p{point}"] = ordered[rank]
+    return out
+
+    def __repr__(self) -> str:
+        return (f"<BenchmarkResult {self.throughput_ops_s:.0f} ops/s "
+                f"({self.ops} ops / {self.duration_us / 1e6:.2f}s, "
+                f"util={self.cpu_utilization:.2f})>")

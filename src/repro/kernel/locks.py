@@ -1,0 +1,129 @@
+"""Locks: OpenSER-style userspace spinlocks and kernel blocking mutexes.
+
+OpenSER guards its shared-memory structures (transaction table, TCP
+connection hash table) with userspace spinlocks that call ``sched_yield``
+after failing to promptly acquire the lock (§5.2).  Under contention this
+burns CPU in spin iterations and floods the scheduler with yields — the
+paper observes "the top ten kernel functions are all in the Linux
+scheduler" during the 50 ops/conn workload.  :class:`SpinLock` models
+exactly that behaviour; the spin and yield costs are charged to the
+profiler so the effect is visible in regenerated profiles.
+
+Both lock types are used from process generators via ``yield from``::
+
+    yield from table_lock.acquire()
+    try:
+        ...critical section...
+    finally:
+        table_lock.release()
+"""
+
+from typing import Optional
+
+from repro.sim.events import Signal
+from repro.sim.primitives import Compute, Wait, YieldCPU
+
+
+class SpinLock:
+    """Userspace test-and-set spinlock with ``sched_yield`` backoff.
+
+    Because the simulator advances one process at a time, the
+    check-then-set inside :meth:`acquire` is atomic; the *cost* of the
+    spinning (and of the yield syscalls) is what we model.
+    """
+
+    def __init__(
+        self,
+        name: str = "lock",
+        try_us: float = 0.05,
+        spin_us: float = 1.0,
+        spins_before_yield: int = 4,
+        yield_syscall_us: float = 0.7,
+    ) -> None:
+        # spin_us models a *batch* of test-and-test-and-set iterations; the
+        # burn rate is what matters, and coarser batches keep the event
+        # count (and therefore wall-clock simulation time) manageable.
+        self.name = name
+        self.try_us = try_us
+        self.spin_us = spin_us
+        self.spins_before_yield = spins_before_yield
+        self.yield_syscall_us = yield_syscall_us
+        self.held = False
+        self.owner: Optional[str] = None
+        #: statistics
+        self.acquisitions = 0
+        self.contentions = 0
+        self.yields = 0
+
+    def acquire(self, who: str = "?"):
+        """Generator: spin (burning CPU) until the lock is ours."""
+        yield Compute(self.try_us, f"lock.{self.name}.acquire")
+        contended = False
+        while self.held:
+            contended = True
+            spun = 0
+            while self.held and spun < self.spins_before_yield:
+                yield Compute(self.spin_us, f"lock.{self.name}.spin")
+                spun += 1
+            if self.held:
+                self.yields += 1
+                yield Compute(self.yield_syscall_us, "kernel.sched_yield")
+                yield YieldCPU()
+        if contended:
+            self.contentions += 1
+        self.held = True
+        self.owner = who
+        self.acquisitions += 1
+
+    def release(self) -> None:
+        if not self.held:
+            raise RuntimeError(f"lock {self.name!r} released while not held")
+        self.held = False
+        self.owner = None
+
+    def __repr__(self) -> str:
+        state = f"held by {self.owner!r}" if self.held else "free"
+        return f"<SpinLock {self.name!r} {state} acq={self.acquisitions}>"
+
+
+class KMutex:
+    """Kernel-style blocking mutex: contenders sleep on a wait queue.
+
+    Used for in-kernel serialization (socket buffers, accept queues), where
+    the kernel blocks rather than spins.
+    """
+
+    def __init__(self, engine, name: str = "kmutex",
+                 acquire_us: float = 0.3) -> None:
+        self.engine = engine
+        self.name = name
+        self.acquire_us = acquire_us
+        self.held = False
+        self.owner: Optional[str] = None
+        self._waiters = Signal(engine, name=f"{name}.waiters")
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def acquire(self, who: str = "?"):
+        """Generator: block (off-CPU) until the mutex is ours."""
+        yield Compute(self.acquire_us, f"kmutex.{self.name}.acquire")
+        contended = False
+        while self.held:
+            contended = True
+            yield Wait(self._waiters)
+        if contended:
+            self.contentions += 1
+        self.held = True
+        self.owner = who
+        self.acquisitions += 1
+
+    def release(self) -> None:
+        if not self.held:
+            raise RuntimeError(f"kmutex {self.name!r} released while not held")
+        self.held = False
+        self.owner = None
+        self._waiters.fire_one()
+
+    def __repr__(self) -> str:
+        state = f"held by {self.owner!r}" if self.held else "free"
+        return f"<KMutex {self.name!r} {state}>"

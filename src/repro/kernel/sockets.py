@@ -1,0 +1,186 @@
+"""Socket buffers and port allocation.
+
+- :class:`DatagramBuffer` — a UDP-style receive queue: bounded in
+  datagrams, silently dropping on overflow (the kernel's behaviour that
+  forces SIP-level retransmission under overload).
+- :class:`StreamBuffer` — a TCP-style byte buffer with flow control:
+  writers must check :meth:`StreamBuffer.space` and wait on
+  ``writable_signal``.
+- :class:`PortAllocator` — ephemeral port pool with TIME_WAIT holding,
+  reproducing the §4.3 port-starvation effect when idle connections are
+  kept open too long under churn.
+"""
+
+import collections
+from typing import Deque, Optional, Set
+
+from repro.sim.events import Signal
+
+
+class PortExhaustedError(OSError):
+    """No ephemeral ports available (EADDRNOTAVAIL)."""
+
+
+class DatagramBuffer:
+    """Bounded datagram receive queue (drops on overflow)."""
+
+    def __init__(self, engine, capacity: int = 256, name: str = "dgram") -> None:
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self.queue: Deque = collections.deque()
+        self.readable_signal = Signal(engine, name=f"{name}.readable")
+        self.drops = 0
+        self.delivered = 0
+
+    def push(self, datagram) -> bool:
+        """Deliver a datagram; returns False (dropped) when full."""
+        if len(self.queue) >= self.capacity:
+            self.drops += 1
+            return False
+        self.queue.append(datagram)
+        self.delivered += 1
+        self.readable_signal.fire()
+        return True
+
+    def readable(self) -> bool:
+        return bool(self.queue)
+
+    def pop(self):
+        if not self.queue:
+            raise IndexError(f"{self.name}: empty datagram buffer")
+        return self.queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def __repr__(self) -> str:
+        return f"<DatagramBuffer {self.name} {len(self.queue)}/{self.capacity}>"
+
+
+class StreamBuffer:
+    """Bounded byte buffer carrying real payload text (TCP receive side).
+
+    TCP is not message-based: the reader gets raw byte runs and must do
+    its own framing (the SIP layer frames on ``Content-Length``).
+    """
+
+    def __init__(self, engine, capacity_bytes: int = 65536,
+                 name: str = "stream") -> None:
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity_bytes
+        self._chunks: Deque[str] = collections.deque()
+        self._size = 0
+        self.readable_signal = Signal(engine, name=f"{name}.readable")
+        self.writable_signal = Signal(engine, name=f"{name}.writable")
+        self.eof = False
+        self.total_bytes = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def space(self) -> int:
+        return max(0, self.capacity - self._size)
+
+    def push(self, data: str) -> None:
+        """Append payload bytes; caller must have checked :meth:`space`."""
+        if not data:
+            return
+        if len(data) > self.space():
+            raise BufferError(f"{self.name}: overrun ({len(data)} > {self.space()})")
+        self._chunks.append(data)
+        self._size += len(data)
+        self.total_bytes += len(data)
+        self.readable_signal.fire()
+
+    def push_eof(self) -> None:
+        """Peer closed its side (FIN): readers see EOF after draining."""
+        self.eof = True
+        self.readable_signal.fire()
+
+    def readable(self) -> bool:
+        return self._size > 0 or self.eof
+
+    def read(self, max_bytes: int = 1 << 30) -> str:
+        """Take up to ``max_bytes`` from the front (may split chunks)."""
+        out = []
+        taken = 0
+        while self._chunks and taken < max_bytes:
+            chunk = self._chunks.popleft()
+            room = max_bytes - taken
+            if len(chunk) > room:
+                out.append(chunk[:room])
+                self._chunks.appendleft(chunk[room:])
+                taken += room
+            else:
+                out.append(chunk)
+                taken += len(chunk)
+        if taken:
+            self._size -= taken
+            self.writable_signal.fire()
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        eof = " EOF" if self.eof else ""
+        return f"<StreamBuffer {self.name} {self._size}/{self.capacity}{eof}>"
+
+
+class PortAllocator:
+    """Ephemeral port pool with TIME_WAIT holding.
+
+    Closed connections keep their local port for ``time_wait_us`` before
+    it returns to the pool, as the initiator side of a TCP teardown does.
+    """
+
+    def __init__(self, engine, lo: int = 32768, hi: int = 61000,
+                 time_wait_us: float = 60_000_000.0, name: str = "ports") -> None:
+        if hi <= lo:
+            raise ValueError("empty port range")
+        self.engine = engine
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self.time_wait_us = time_wait_us
+        self._in_use: Set[int] = set()
+        self._time_wait: Set[int] = set()
+        self._free: Deque[int] = collections.deque(range(lo, hi))
+        self.exhaustions = 0
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_time_wait(self) -> int:
+        return len(self._time_wait)
+
+    def allocate(self) -> int:
+        if not self._free:
+            self.exhaustions += 1
+            raise PortExhaustedError(
+                f"{self.name}: no ephemeral ports "
+                f"(in_use={len(self._in_use)}, time_wait={len(self._time_wait)})")
+        port = self._free.popleft()
+        self._in_use.add(port)
+        return port
+
+    def release(self, port: int, time_wait: bool = True) -> None:
+        if port not in self._in_use:
+            raise ValueError(f"{self.name}: releasing unallocated port {port}")
+        self._in_use.remove(port)
+        if time_wait and self.time_wait_us > 0:
+            self._time_wait.add(port)
+            self.engine.schedule(self.time_wait_us, self._reclaim, port)
+        else:
+            self._free.append(port)
+
+    def _reclaim(self, port: int) -> None:
+        if port in self._time_wait:
+            self._time_wait.remove(port)
+            self._free.append(port)
+
+    def __repr__(self) -> str:
+        return (f"<PortAllocator {self.name} free={len(self._free)} "
+                f"in_use={len(self._in_use)} tw={len(self._time_wait)}>")

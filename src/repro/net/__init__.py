@@ -1,0 +1,41 @@
+"""Network substrate: a switched gigabit LAN with UDP, TCP and SCTP.
+
+The testbed (§4.1) connects one server and three client machines through
+gigabit Ethernet.  :class:`~repro.net.fabric.Fabric` models the LAN (per-
+machine egress serialization + switch latency); the transport modules
+model the kernel-visible behaviour each protocol contributes to the
+paper's story:
+
+- :mod:`~repro.net.udp` — connectionless and message-based: any process
+  can receive any datagram; overflow drops force SIP retransmission.
+- :mod:`~repro.net.tcp` — connection-oriented bytestream: handshake,
+  accept queues, flow control, FIN/TIME_WAIT, and message framing left to
+  the application.
+- :mod:`~repro.net.sctp` — the §6 alternative: message-based like UDP,
+  connection-oriented like TCP, with associations managed by the kernel.
+"""
+
+from repro.net.fabric import Fabric
+from repro.net.packet import Datagram
+from repro.net.udp import UdpEndpoint
+from repro.net.tcp import (
+    TcpConn,
+    TcpListener,
+    TcpError,
+    ConnectionRefusedError_,
+    connect as tcp_connect,
+)
+from repro.net.sctp import SctpEndpoint, SctpAssociation
+
+__all__ = [
+    "Fabric",
+    "Datagram",
+    "UdpEndpoint",
+    "TcpConn",
+    "TcpListener",
+    "TcpError",
+    "ConnectionRefusedError_",
+    "tcp_connect",
+    "SctpEndpoint",
+    "SctpAssociation",
+]

@@ -1,0 +1,83 @@
+"""The LAN: machines joined by a switch.
+
+Delivery time for a payload of ``size`` bytes from machine A to machine B:
+
+    depart = max(now, A's egress-free time) + size / bandwidth
+    arrive = depart + one-way latency (plus optional jitter)
+
+Egress serialization makes a machine's NIC a FIFO resource, so a gigabit
+link saturates realistically under the paper's ~100 MB/s message load.
+An optional uniform loss rate supports fault-injection tests; the primary
+loss mechanism remains receive-buffer overflow at the endpoints.
+"""
+
+from typing import Callable, Dict, Optional
+
+from repro.sim.engine import Engine
+
+
+class Fabric:
+    """A star-topology switched network."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        latency_us: float = 50.0,
+        bandwidth_bytes_per_us: float = 125.0,  # 1 Gb/s
+        jitter_us: float = 0.0,
+        loss_rate: float = 0.0,
+        rng=None,
+    ) -> None:
+        self.engine = engine
+        self.latency_us = latency_us
+        self.bandwidth = bandwidth_bytes_per_us
+        self.jitter_us = jitter_us
+        self.loss_rate = loss_rate
+        self.rng = rng
+        self.machines: Dict[str, object] = {}
+        self._egress_free: Dict[str, float] = {}
+        #: statistics
+        self.packets_sent = 0
+        self.packets_lost = 0
+        self.bytes_sent = 0
+
+    def attach(self, machine) -> None:
+        """Join a machine to the LAN (addressed by its name)."""
+        if machine.name in self.machines:
+            raise ValueError(f"duplicate machine name {machine.name!r}")
+        self.machines[machine.name] = machine
+        self._egress_free[machine.name] = 0.0
+        machine.fabric = self
+
+    def machine(self, addr: str):
+        m = self.machines.get(addr)
+        if m is None:
+            raise KeyError(f"no machine at address {addr!r}")
+        return m
+
+    def deliver(self, src_addr: str, dst_addr: str, size: int,
+                deliver_fn: Callable, *args) -> None:
+        """Schedule ``deliver_fn(*args)`` at the destination's arrival time.
+
+        Loss (if configured) silently drops the delivery, exactly as a
+        switch drop would: the sender learns nothing.
+        """
+        if dst_addr not in self.machines:
+            raise KeyError(f"no machine at address {dst_addr!r}")
+        self.packets_sent += 1
+        self.bytes_sent += size
+        if self.loss_rate > 0.0 and self.rng is not None:
+            if self.rng.random() < self.loss_rate:
+                self.packets_lost += 1
+                return
+        now = self.engine.now
+        depart = max(now, self._egress_free[src_addr]) + size / self.bandwidth
+        self._egress_free[src_addr] = depart
+        arrive = depart + self.latency_us
+        if self.jitter_us > 0.0 and self.rng is not None:
+            arrive += self.rng.uniform(0.0, self.jitter_us)
+        self.engine.schedule_at(arrive, deliver_fn, *args)
+
+    def __repr__(self) -> str:
+        return (f"<Fabric machines={sorted(self.machines)} "
+                f"latency={self.latency_us}us>")

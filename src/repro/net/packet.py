@@ -1,0 +1,29 @@
+"""Wire units carried by the fabric."""
+
+from typing import Optional
+
+
+class Datagram:
+    """A UDP datagram (also reused as the SCTP message unit)."""
+
+    __slots__ = ("src_addr", "src_port", "dst_addr", "dst_port", "payload",
+                 "size")
+
+    def __init__(self, src_addr: str, src_port: int, dst_addr: str,
+                 dst_port: int, payload: str,
+                 size: Optional[int] = None) -> None:
+        self.src_addr = src_addr
+        self.src_port = src_port
+        self.dst_addr = dst_addr
+        self.dst_port = dst_port
+        self.payload = payload
+        #: on-wire size: payload plus IP+UDP headers
+        self.size = size if size is not None else len(payload) + 28
+
+    @property
+    def source(self) -> tuple:
+        return (self.src_addr, self.src_port)
+
+    def __repr__(self) -> str:
+        return (f"<Datagram {self.src_addr}:{self.src_port} -> "
+                f"{self.dst_addr}:{self.dst_port} {self.size}B>")

@@ -1,0 +1,309 @@
+"""TCP: connection-oriented, reliable bytestream transport.
+
+Modeled behaviours the paper depends on:
+
+- **handshake + accept queue** — connections cost a round trip and must be
+  accepted by a process (OpenSER's supervisor);
+- **bytestream, not messages** — receivers get byte runs and must frame
+  SIP messages themselves, which is why only one worker may read a
+  connection (§3.1);
+- **flow control** — senders block when the peer's receive buffer is full;
+- **teardown** — FIN/EOF, with the active closer's ephemeral port held in
+  TIME_WAIT (the §4.3 starvation ingredient).
+
+Packet loss and retransmission are internal to TCP and invisible to the
+application except as added latency; we model TCP as reliable and in-order
+(the paper's LAN saw no meaningful loss) and let the *costs* of TCP
+processing live in the proxy cost model.
+"""
+
+import enum
+from typing import Optional
+
+from repro.kernel.sockets import StreamBuffer
+from repro.sim.events import Event, Signal
+from repro.sim.primitives import Wait
+
+#: on-wire sizes for control segments and per-segment header overhead
+CTRL_SEGMENT_SIZE = 66
+HEADER_OVERHEAD = 66
+MSS = 1448
+
+
+class TcpError(OSError):
+    """Base class for TCP-level failures."""
+
+
+class ConnectionRefusedError_(TcpError):
+    """SYN answered with RST (no listener, or backlog full)."""
+
+
+class ConnectionResetError_(TcpError):
+    """Operation on a connection that is gone."""
+
+
+class TcpState(enum.Enum):
+    SYN_SENT = "syn-sent"
+    ESTABLISHED = "established"
+    FIN_SENT = "fin-sent"       # we closed, peer has not
+    CLOSE_WAIT = "close-wait"   # peer closed, we have not
+    CLOSED = "closed"
+
+
+class TcpListener:
+    """A listening socket with a bounded accept queue."""
+
+    def __init__(self, machine, port: int, backlog: int = 128) -> None:
+        if port in machine.tcp_listeners:
+            raise OSError(f"{machine.name}: TCP port {port} already listening")
+        self.machine = machine
+        self.port = port
+        self.backlog = backlog
+        self.accept_queue = []
+        self.readable_signal = Signal(machine.engine,
+                                      name=f"{machine.name}:tcp{port}.accept")
+        machine.tcp_listeners[port] = self
+        self.accepted = 0
+        self.refused = 0
+
+    # -- poller source protocol ----------------------------------------
+    def readable(self) -> bool:
+        return bool(self.accept_queue)
+
+    # -- operations -------------------------------------------------------
+    def accept(self):
+        """Generator: block until a completed connection is available."""
+        while not self.accept_queue:
+            yield Wait(self.readable_signal)
+        conn = self.accept_queue.pop(0)
+        self.accepted += 1
+        return conn
+
+    def try_accept(self) -> Optional["TcpConn"]:
+        if not self.accept_queue:
+            return None
+        self.accepted += 1
+        return self.accept_queue.pop(0)
+
+    def close(self) -> None:
+        self.machine.tcp_listeners.pop(self.port, None)
+
+    def __repr__(self) -> str:
+        return (f"<TcpListener {self.machine.name}:{self.port} "
+                f"queued={len(self.accept_queue)}>")
+
+
+class TcpConn:
+    """One endpoint of an established (or in-progress) connection."""
+
+    def __init__(self, machine, local_port: int, remote_addr: str,
+                 remote_port: int, initiated: bool,
+                 rcvbuf_bytes: int = 65536) -> None:
+        self.machine = machine
+        self.engine = machine.engine
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.initiated = initiated
+        self.state = TcpState.SYN_SENT if initiated else TcpState.ESTABLISHED
+        self.recv_buffer = StreamBuffer(
+            machine.engine, capacity_bytes=rcvbuf_bytes,
+            name=f"{machine.name}:{local_port}->{remote_addr}:{remote_port}")
+        self.peer: Optional["TcpConn"] = None
+        self.connected = Event(machine.engine, name="tcp.connected")
+        self.error: Optional[TcpError] = None
+        self.in_flight = 0
+        self.sent_fin = False
+        self.received_fin = False
+        self.fin_first = False  # were we the active closer?
+        self.finalized = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        machine.tcp_connections.add(self)
+
+    # -- poller source protocol ----------------------------------------
+    def readable(self) -> bool:
+        return self.recv_buffer.readable()
+
+    @property
+    def readable_signal(self):
+        return self.recv_buffer.readable_signal
+
+    @property
+    def established(self) -> bool:
+        return self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+
+    @property
+    def open_for_send(self) -> bool:
+        return (self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+                and self.peer is not None)
+
+    # -- sending ----------------------------------------------------------
+    def _flow_space(self) -> int:
+        if self.peer is None:
+            return 0
+        return self.peer.recv_buffer.space() - self.in_flight
+
+    def send(self, data: str):
+        """Generator: block under flow control, then ship the bytes."""
+        if not data:
+            return 0
+        if not self.open_for_send:
+            raise ConnectionResetError_(f"send on {self.state.value} connection")
+        while self._flow_space() < len(data):
+            if not self.open_for_send:
+                raise ConnectionResetError_("connection closed while blocked in send")
+            yield Wait(self.peer.recv_buffer.writable_signal)
+        self.in_flight += len(data)
+        self.bytes_sent += len(data)
+        fabric = self.machine.fabric
+        offset = 0
+        while offset < len(data):
+            chunk = data[offset:offset + MSS]
+            offset += len(chunk)
+            fabric.deliver(self.machine.address, self.remote_addr,
+                           len(chunk) + HEADER_OVERHEAD,
+                           self._segment_arrive, chunk)
+        return len(data)
+
+    def try_send(self, data: str) -> bool:
+        """Non-blocking send: ships all or nothing."""
+        if not self.open_for_send or self._flow_space() < len(data):
+            return False
+        self.in_flight += len(data)
+        self.bytes_sent += len(data)
+        fabric = self.machine.fabric
+        offset = 0
+        while offset < len(data):
+            chunk = data[offset:offset + MSS]
+            offset += len(chunk)
+            fabric.deliver(self.machine.address, self.remote_addr,
+                           len(chunk) + HEADER_OVERHEAD,
+                           self._segment_arrive, chunk)
+        return True
+
+    def _segment_arrive(self, chunk: str) -> None:
+        self.in_flight -= len(chunk)
+        peer = self.peer
+        if peer is None or peer.finalized:
+            return  # data raced a teardown; receiver is gone
+        peer.bytes_received += len(chunk)
+        peer.recv_buffer.push(chunk)
+
+    # -- receiving ----------------------------------------------------------
+    def recv(self, max_bytes: int = 1 << 20):
+        """Generator: block until bytes (or EOF); returns '' at EOF."""
+        while not self.recv_buffer.readable():
+            yield Wait(self.recv_buffer.readable_signal)
+        return self.recv_buffer.read(max_bytes)
+
+    def try_recv(self, max_bytes: int = 1 << 20) -> Optional[str]:
+        """Non-blocking read: None when nothing available, '' at EOF."""
+        if not self.recv_buffer.readable():
+            return None
+        return self.recv_buffer.read(max_bytes)
+
+    # -- teardown ----------------------------------------------------------
+    def close(self) -> None:
+        """Send FIN (idempotent); full teardown when both sides have."""
+        if self.sent_fin:
+            return
+        self.sent_fin = True
+        self.fin_first = not self.received_fin
+        self.state = (TcpState.CLOSED if self.received_fin
+                      else TcpState.FIN_SENT)
+        peer = self.peer
+        if peer is not None:
+            self.machine.fabric.deliver(
+                self.machine.address, self.remote_addr, CTRL_SEGMENT_SIZE,
+                peer._fin_arrive)
+        if self.received_fin or peer is None:
+            self._finalize()
+
+    def _fin_arrive(self) -> None:
+        if self.received_fin:
+            return
+        self.received_fin = True
+        self.recv_buffer.push_eof()
+        if self.sent_fin:
+            self.state = TcpState.CLOSED
+            self._finalize()
+        else:
+            self.state = TcpState.CLOSE_WAIT
+
+    def on_last_close(self) -> None:
+        """FileDescription hook: all descriptors gone => FIN."""
+        self.close()
+
+    def _finalize(self) -> None:
+        if self.finalized:
+            return
+        self.finalized = True
+        self.state = TcpState.CLOSED
+        self.machine.tcp_connections.discard(self)
+        if self.initiated:
+            # Ephemeral port: active closers hold it in TIME_WAIT.
+            self.machine.tcp_ports.release(self.local_port,
+                                           time_wait=self.fin_first)
+
+    def _refuse(self, error: TcpError) -> None:
+        self.error = error
+        self.state = TcpState.CLOSED
+        self.finalized = True
+        self.machine.tcp_connections.discard(self)
+        if self.initiated:
+            self.machine.tcp_ports.release(self.local_port, time_wait=False)
+        self.connected.fire(False)
+
+    def __repr__(self) -> str:
+        return (f"<TcpConn {self.machine.name}:{self.local_port} -> "
+                f"{self.remote_addr}:{self.remote_port} {self.state.value}>")
+
+
+def connect(machine, dst_addr: str, dst_port: int):
+    """Generator: open a connection from ``machine`` to a listener.
+
+    Allocates an ephemeral local port (raising
+    :class:`~repro.kernel.sockets.PortExhaustedError` when the pool is
+    dry), performs the handshake, and returns an ESTABLISHED
+    :class:`TcpConn`.  Raises :class:`ConnectionRefusedError_` when no one
+    is listening or the accept backlog is full.
+    """
+    local_port = machine.tcp_ports.allocate()
+    conn = TcpConn(machine, local_port, dst_addr, dst_port, initiated=True)
+    machine.fabric.deliver(machine.address, dst_addr, CTRL_SEGMENT_SIZE,
+                           _syn_arrive, machine.fabric, conn, dst_addr,
+                           dst_port)
+    yield Wait(conn.connected)
+    if conn.error is not None:
+        raise conn.error
+    return conn
+
+
+def _syn_arrive(fabric, client_conn: TcpConn, dst_addr: str,
+                dst_port: int) -> None:
+    server = fabric.machine(dst_addr)
+    listener = server.tcp_listeners.get(dst_port)
+    refusal = None
+    if listener is None:
+        refusal = ConnectionRefusedError_(f"{dst_addr}:{dst_port}: no listener")
+    elif len(listener.accept_queue) >= listener.backlog:
+        listener.refused += 1
+        refusal = ConnectionRefusedError_(f"{dst_addr}:{dst_port}: backlog full")
+    if refusal is not None:
+        fabric.deliver(dst_addr, client_conn.machine.address,
+                       CTRL_SEGMENT_SIZE, client_conn._refuse, refusal)
+        return
+    server_conn = TcpConn(server, dst_port, client_conn.machine.address,
+                          client_conn.local_port, initiated=False)
+    server_conn.peer = client_conn
+    listener.accept_queue.append(server_conn)
+    listener.readable_signal.fire()
+    fabric.deliver(dst_addr, client_conn.machine.address, CTRL_SEGMENT_SIZE,
+                   _synack_arrive, client_conn, server_conn)
+
+
+def _synack_arrive(client_conn: TcpConn, server_conn: TcpConn) -> None:
+    client_conn.peer = server_conn
+    client_conn.state = TcpState.ESTABLISHED
+    client_conn.connected.fire(True)

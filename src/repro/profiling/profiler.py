@@ -1,0 +1,49 @@
+"""CPU-time attribution by function label."""
+
+from typing import Dict, Optional
+
+
+class Profiler:
+    """Aggregates simulated CPU time per function label.
+
+    Attached to a :class:`~repro.kernel.scheduler.Scheduler`; every charged
+    burst calls :meth:`record`.  Labels beginning with ``kernel.`` play the
+    role of OProfile's kernel-image samples.
+    """
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.by_label: Dict[str, float] = {}
+        self.by_process: Dict[str, float] = {}
+        self.total_us = 0.0
+
+    def record(self, label: str, us: float, proc_name: str = "?") -> None:
+        if us <= 0:
+            return
+        self.by_label[label] = self.by_label.get(label, 0.0) + us
+        self.by_process[proc_name] = self.by_process.get(proc_name, 0.0) + us
+        self.total_us += us
+
+    # -- windowed measurement --------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.by_label)
+
+    def delta(self, earlier: Dict[str, float]) -> Dict[str, float]:
+        return {label: total - earlier.get(label, 0.0)
+                for label, total in self.by_label.items()
+                if total - earlier.get(label, 0.0) > 0.0}
+
+    def share(self, label: str) -> float:
+        """Fraction of all profiled CPU time spent in ``label``."""
+        if self.total_us == 0.0:
+            return 0.0
+        return self.by_label.get(label, 0.0) / self.total_us
+
+    def reset(self) -> None:
+        self.by_label.clear()
+        self.by_process.clear()
+        self.total_us = 0.0
+
+    def __repr__(self) -> str:
+        return (f"<Profiler labels={len(self.by_label)} "
+                f"total={self.total_us / 1e6:.3f}s>")

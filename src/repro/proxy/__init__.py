@@ -1,0 +1,24 @@
+"""The paper's subject: an OpenSER-style stateful SIP proxy.
+
+Four interchangeable architectures over one transport-independent core:
+
+- :mod:`~repro.proxy.udp_server` — Fig. 2: symmetric worker processes, a
+  shared transaction table, and a retransmission timer process.
+- :mod:`~repro.proxy.tcp_server` — Fig. 1: a connection-managing
+  supervisor plus workers that own connections, request descriptors over
+  IPC, and sweep for idle connections.  Hosts the two §5 fixes: the
+  per-worker fd cache and priority-queue idle management.
+- :mod:`~repro.proxy.threaded_server` — §6: every worker shares one
+  address space/descriptor table, so connections need locks, not IPC.
+- :mod:`~repro.proxy.sctp_server` — §6: UDP-style symmetric workers over
+  kernel-managed associations.
+
+All CPU costs come from :class:`~repro.proxy.costs.CostModel`.
+"""
+
+from repro.proxy.config import ProxyConfig
+from repro.proxy.costs import CostModel
+from repro.proxy.stats import ProxyStats
+from repro.proxy.server import build_proxy
+
+__all__ = ["ProxyConfig", "CostModel", "ProxyStats", "build_proxy"]

@@ -1,0 +1,73 @@
+"""Shared scaffolding for the proxy architectures."""
+
+from typing import List, Optional
+
+from repro.proxy.core import ProxyCore
+from repro.proxy.costs import CostModel
+from repro.proxy.stats import ProxyStats
+from repro.proxy.txn_table import TimerList, TransactionTable
+from repro.sim.primitives import Sleep
+from repro.sip.location import LocationService
+
+
+class BaseProxyServer:
+    """State common to every architecture: the SIP core and its shared
+    (shm) structures, plus the retransmission/GC timer process."""
+
+    def __init__(self, machine, config, costs: Optional[CostModel] = None):
+        config.validate()
+        self.machine = machine
+        self.engine = machine.engine
+        self.config = config
+        self.costs = costs or CostModel()
+        self.stats = ProxyStats()
+        self.location = LocationService()
+        self.txn_table = TransactionTable(self.costs,
+                                          buckets=config.shm_buckets)
+        self.timer_list = TimerList(self.costs)
+        self.core = ProxyCore(self.engine, config, self.costs, self.location,
+                              self.txn_table, self.timer_list, self.stats,
+                              via_host=machine.name)
+        self.processes: List = []
+        self.started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "BaseProxyServer":
+        """Spawn and start every process of this architecture."""
+        if self.started:
+            raise RuntimeError("proxy already started")
+        self.started = True
+        self._spawn_processes()
+        for proc in self.processes:
+            proc.start()
+        return self
+
+    def _spawn_processes(self) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        for proc in self.processes:
+            proc.kill()
+
+    # ------------------------------------------------------------------
+    # the timer process (§3: essential for UDP, superfluous-but-present
+    # for TCP)
+    # ------------------------------------------------------------------
+    def _timer_body(self):
+        while True:
+            yield Sleep(self.config.timer_tick_us)
+            # The limit must outrun the insertion rate (one rtx + one GC
+            # entry per transaction) or the expired backlog — and with it
+            # the transaction table — grows without bound.
+            actions = yield from self.core.timer_pass(limit=8192,
+                                                      who="timer")
+            for action in actions:
+                yield from self._timer_send(action)
+
+    def _timer_send(self, action):
+        """Generator: transmit a retransmission (transport-specific)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.config.transport} "
+                f"workers={self.config.workers}>")

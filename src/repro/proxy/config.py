@@ -1,0 +1,78 @@
+"""Proxy configuration (the knobs §4.3 discusses, and the §5 fixes)."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+VALID_TRANSPORTS = ("udp", "tcp", "sctp", "tcp-threaded")
+VALID_IDLE_STRATEGIES = ("scan", "pq")
+
+
+@dataclass
+class ProxyConfig:
+    """Configuration of one proxy instance.
+
+    Defaults mirror the paper's tuned setup (§4.3): supervisor at nice
+    −20, idle timeout reduced from OpenSER's 120 s default to 10 s, and
+    the worker counts the authors selected (24 for UDP, 32 for TCP) are
+    chosen by the experiment driver.
+    """
+
+    transport: str = "udp"
+    workers: int = 24
+    port: int = 5060
+    domain: str = "example.com"
+    stateful: bool = True
+
+    # -- the §5 fixes ---------------------------------------------------
+    fd_cache: bool = False          #: Fig. 4: per-worker conn→fd cache
+    idle_strategy: str = "scan"     #: Fig. 5: "scan" (baseline) or "pq"
+
+    # -- §4.3 configuration issues ---------------------------------------
+    supervisor_nice: int = -20
+    worker_nice: int = 0
+    idle_timeout_us: float = 10_000_000.0    #: 10 s (OpenSER default: 120 s)
+
+    # -- plumbing sizes ----------------------------------------------------
+    ipc_capacity: int = 256          #: supervisor<->worker channel, messages
+    udp_rcvbuf_datagrams: int = 384
+    tcp_rcvbuf_bytes: int = 65536
+    accept_backlog: int = 1024
+    shm_buckets: int = 16384         #: transaction hash table buckets
+
+    # -- timer process -------------------------------------------------------
+    timer_tick_us: float = 100_000.0         #: retransmission scan period
+    sip_t1_us: float = 500_000.0             #: RFC 3261 T1
+    sip_t2_us: float = 4_000_000.0
+
+    # -- idle management cadence ----------------------------------------------
+    #: workers check their owned connections this often
+    worker_idle_tick_us: float = 1_000_000.0
+    #: minimum gap between supervisor sweeps.  OpenSER swept from its main
+    #: loop; under load that loop turns over far faster than connections
+    #: can possibly expire, and its effective sweep cadence is bounded by
+    #: timestamp granularity.  50 Hz models that bound; 0 sweeps every
+    #: batch (the pathological reading of the code).
+    supervisor_scan_interval_us: float = 10_000.0
+
+    # -- failure-mode switches (§6) -----------------------------------------
+    #: blocking sends from the supervisor to workers: faithful to OpenSER
+    #: and deadlock-prone when ipc_capacity is small
+    supervisor_blocking_send: bool = True
+
+    def validate(self) -> None:
+        if self.transport not in VALID_TRANSPORTS:
+            raise ValueError(f"unknown transport {self.transport!r}; "
+                             f"expected one of {VALID_TRANSPORTS}")
+        if self.idle_strategy not in VALID_IDLE_STRATEGIES:
+            raise ValueError(f"unknown idle strategy {self.idle_strategy!r}")
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if not -20 <= self.supervisor_nice <= 19:
+            raise ValueError("supervisor_nice out of range")
+        if self.idle_timeout_us <= 0:
+            raise ValueError("idle_timeout_us must be positive")
+
+    @property
+    def reliable_transport(self) -> bool:
+        """Does the transport relieve SIP of retransmission duty?"""
+        return self.transport in ("tcp", "tcp-threaded", "sctp")

@@ -1,0 +1,307 @@
+"""Transport-independent SIP proxy logic.
+
+``ProxyCore.process`` is what an OpenSER worker does with one received
+message: parse it, match or create transaction state (shared, locked),
+route it, and emit the messages to transmit.  It is a generator so that
+every step charges calibrated CPU on the simulated cores; the transport
+architectures wrap it with their own receive/transmit machinery.
+"""
+
+from typing import List, Optional
+
+from repro.proxy.routing import SendAction, ToBinding, ToSource, ToVia
+from repro.proxy.txn_table import ProxyTransaction, TimerList, TransactionTable
+from repro.sim.primitives import Compute
+from repro.sip.builder import BRANCH_MAGIC
+from repro.sip.headers import Via
+from repro.sip.location import Binding, LocationService
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.parser import SipParseError, parse_message
+
+#: how long a completed transaction lingers to absorb retransmissions
+GC_LINGER_US = 1_000_000.0
+
+
+class ProxyCore:
+    """The proxy's message-processing brain (shared by all workers)."""
+
+    def __init__(self, engine, config, costs, location: LocationService,
+                 txn_table: TransactionTable, timer_list: TimerList,
+                 stats, via_host: str) -> None:
+        self.engine = engine
+        self.config = config
+        self.costs = costs
+        self.location = location
+        self.txn_table = txn_table
+        self.timer_list = timer_list
+        self.stats = stats
+        self.via_host = via_host
+        self.via_port = config.port
+        self._branch_counter = 0
+        self._pending_register_contact = None
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def process(self, text: str, source, who: str = "worker"):
+        """Generator: handle one received message; returns [SendAction]."""
+        self._pending_register_contact = None
+        self.stats.messages_received += 1
+        yield Compute(self.costs.parse_cost(len(text), len(self.location)),
+                      "parse_msg")
+        try:
+            message = parse_message(text)
+        except SipParseError:
+            self.stats.parse_errors += 1
+            return []
+        if message.is_request:
+            return (yield from self._process_request(message, source, who))
+        return (yield from self._process_response(message, source, who))
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+    def _process_request(self, request: SipRequest, source,
+                         who: str) -> List[SendAction]:
+        method = request.method
+        if method == "REGISTER":
+            return (yield from self._process_register(request, source))
+        if method == "ACK":
+            return (yield from self._process_ack(request, who))
+        if method in ("INVITE", "BYE"):
+            return (yield from self._process_relay(request, source, who))
+        # Anything else: politely decline.
+        reply = self._make_response(request, 501, "Not Implemented")
+        return [SendAction(reply.render(), ToSource(source), "reply")]
+
+    def _process_register(self, request: SipRequest,
+                          source) -> List[SendAction]:
+        yield Compute(self.costs.registrar_update_us, "save_usrloc")
+        contact = request.contact
+        to_addr = request.to_addr
+        if contact is None or to_addr is None:
+            self.stats.parse_errors += 1
+            reply = self._make_response(request, 400)
+            return [SendAction(reply.render(), ToSource(source), "reply")]
+        binding = Binding(
+            aor=to_addr.uri.aor,
+            contact=contact.uri,
+            addr=contact.uri.host,
+            port=contact.uri.port or 5060,
+            transport=contact.uri.params.get("transport",
+                                             self.config.transport),
+            conn=source if self.config.transport in ("tcp", "tcp-threaded")
+            else None,
+            assoc=source if self.config.transport == "sctp" else None,
+            registered_at=self.engine.now,
+        )
+        self.location.register(binding)
+        self.stats.registrations += 1
+        self._pending_register_contact = (binding.addr, binding.port)
+        reply = self._make_response(request, 200)
+        return [SendAction(reply.render(), ToSource(source), "reply")]
+
+    def _process_relay(self, request: SipRequest, source,
+                       who: str) -> List[SendAction]:
+        upstream_key = request.transaction_key()
+        txn = yield from self.txn_table.lookup_upstream(upstream_key, who)
+        if txn is not None:
+            # A retransmission from the caller: the stateful proxy absorbs
+            # it and replays the best response it has (§2).
+            self.stats.retransmissions_absorbed += 1
+            if txn.last_response_text is not None:
+                return [SendAction(txn.last_response_text,
+                                   ToSource(txn.source), "reply")]
+            return []
+
+        actions: List[SendAction] = []
+        self.stats.transactions_created += 1
+        trying_text: Optional[str] = None
+        if request.method == "INVITE" and self.config.stateful:
+            trying = self._make_response(request, 100)
+            trying_text = trying.render()
+            actions.append(SendAction(trying_text, ToSource(source), "reply"))
+
+        # Max-Forwards (RFC 3261 §16.3 check 2).
+        max_forwards = request.max_forwards
+        if max_forwards is not None and max_forwards <= 0:
+            reply = self._make_response(request, 483)
+            return [SendAction(reply.render(), ToSource(source), "reply")]
+
+        yield Compute(self.costs.route_lookup_us, "lookup_contact")
+        binding = self._resolve_uri(request.uri)
+        if binding is None:
+            self.stats.routing_failures += 1
+            reply = self._make_response(request, 404)
+            return [SendAction(reply.render(), ToSource(source), "reply")]
+
+        forwarded, our_branch = yield from self._build_forward(request)
+        if self.config.stateful:
+            txn = ProxyTransaction(
+                upstream_key=upstream_key,
+                our_branch=our_branch,
+                method=request.method,
+                source=source,
+                forward_target=binding,
+                forwarded_text=forwarded,
+                created_at=self.engine.now,
+            )
+            txn.last_response_text = trying_text
+            yield from self.txn_table.insert(txn, who)
+            if not self.config.reliable_transport:
+                txn.rtx_interval_us = self.config.sip_t1_us
+                yield from self.timer_list.insert(
+                    self.engine.now + txn.rtx_interval_us, "rtx",
+                    our_branch, who)
+        actions.append(SendAction(forwarded, ToBinding(binding),
+                                  "forward_request"))
+        return actions
+
+    def _process_ack(self, request: SipRequest, who: str) -> List[SendAction]:
+        # ACK for a 2xx is end-to-end: route it like a new request, no
+        # transaction state (RFC 3261 §16.11 last paragraph behaviour).
+        yield Compute(self.costs.route_lookup_us, "lookup_contact")
+        binding = self._resolve_uri(request.uri)
+        if binding is None:
+            self.stats.routing_failures += 1
+            return []
+        forwarded, __ = yield from self._build_forward(request)
+        return [SendAction(forwarded, ToBinding(binding), "forward_request")]
+
+    # ------------------------------------------------------------------
+    # responses
+    # ------------------------------------------------------------------
+    def _process_response(self, response: SipResponse, source,
+                          who: str) -> List[SendAction]:
+        top = response.top_via
+        if top is None or top.host != self.via_host:
+            self.stats.routing_failures += 1
+            return []
+        our_branch = top.branch
+        yield Compute(self.costs.build_forward_us, "forward_reply")
+        response.remove_first("Via")
+        if not self.config.stateful:
+            # Stateless proxying: forward by the next Via (§16.11).
+            next_via = response.top_via
+            if next_via is None:
+                self.stats.routing_failures += 1
+                return []
+            return [SendAction(response.render(),
+                               ToVia(next_via.host, next_via.port),
+                               "forward_response")]
+        txn = yield from self.txn_table.lookup_branch(our_branch, who)
+        if txn is None:
+            self.stats.routing_failures += 1
+            return []
+        forwarded_text = response.render()
+        yield from self.txn_table.update(
+            txn, who, responded=True, last_response_text=forwarded_text)
+        if response.is_final and not txn.completed:
+            txn.completed = True
+            self.stats.transactions_completed += 1
+            if txn.method == "INVITE":
+                self.stats.invite_completed += 1
+            elif txn.method == "BYE":
+                self.stats.bye_completed += 1
+            yield from self.timer_list.insert(
+                self.engine.now + GC_LINGER_US, "gc", our_branch, who)
+        return [SendAction(forwarded_text, ToSource(txn.source),
+                           "forward_response")]
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def take_register_contact(self):
+        """The (host, port) contact of a REGISTER handled by the most
+        recent ``process`` call on this worker's stack, or None.
+
+        Must be read immediately after ``yield from core.process(...)``
+        returns (no intervening yields): the TCP architecture uses it to
+        alias the arrival connection to the phone's advertised address.
+        """
+        contact = self._pending_register_contact
+        self._pending_register_contact = None
+        return contact
+
+    def _resolve_uri(self, uri) -> Optional[Binding]:
+        """Next-hop resolution (RFC 3261 §16.5/§16.6).
+
+        A request-URI in our domain goes through the location service; any
+        other URI (a phone's contact, as in mid-dialog ACK/BYE) is a
+        direct next hop at its own host:port.
+        """
+        if uri.host == self.config.domain:
+            return self.location.lookup(uri.aor, now=self.engine.now)
+        return Binding(
+            aor=uri.aor,
+            contact=uri,
+            addr=uri.host,
+            port=uri.port or 5060,
+            transport=uri.params.get("transport", self.config.transport),
+        )
+
+    def new_branch(self) -> str:
+        self._branch_counter += 1
+        return f"{BRANCH_MAGIC}-pxy-{self._branch_counter:x}"
+
+    def _build_forward(self, request: SipRequest):
+        """Generator: clone-and-forward a request with our Via pushed."""
+        yield Compute(self.costs.build_forward_us, "forward_request")
+        our_branch = self.new_branch()
+        via = Via(self.config.transport.split("-")[0], self.via_host,
+                  self.via_port, {"branch": our_branch})
+        forwarded = SipRequest(request.method, request.uri,
+                               list(request.headers), request.body)
+        forwarded.add_first("Via", via.render())
+        max_forwards = request.max_forwards
+        if max_forwards is not None:
+            forwarded.set("Max-Forwards", str(max_forwards - 1))
+        return forwarded.render(), our_branch
+
+    def _make_response(self, request: SipRequest, status: int,
+                       reason: Optional[str] = None) -> SipResponse:
+        response = SipResponse(status, reason)
+        for value in request.get_all("Via"):
+            response.add("Via", value)
+        for name in ("From", "To", "Call-ID", "CSeq"):
+            value = request.get(name)
+            if value is not None:
+                response.add(name, value)
+        response.add("Content-Length", "0")
+        return response
+
+    # ------------------------------------------------------------------
+    # timer-process hooks (retransmission + GC)
+    # ------------------------------------------------------------------
+    def timer_pass(self, limit: int = 64, who: str = "timer"):
+        """Generator: one timer-process sweep; returns retransmit actions."""
+        expired = yield from self.timer_list.pop_expired(self.engine.now,
+                                                         limit, who)
+        actions: List[SendAction] = []
+        for kind, branch in expired:
+            txn = yield from self.txn_table.lookup_branch(branch, who)
+            if txn is None:
+                continue
+            if kind == "gc":
+                if txn.completed:
+                    yield from self.txn_table.remove(txn, who)
+                continue
+            # kind == "rtx": retransmit if still unanswered.
+            if txn.responded or txn.completed:
+                continue
+            age = self.engine.now - txn.created_at
+            if age >= 64.0 * self.config.sip_t1_us:
+                self.stats.transactions_timed_out += 1
+                yield from self.txn_table.remove(txn, who)
+                continue
+            yield Compute(self.costs.retransmit_us, "t_retransmit")
+            self.stats.retransmissions_sent += 1
+            txn.rtx_attempts += 1
+            txn.rtx_interval_us = min(txn.rtx_interval_us * 2.0,
+                                      self.config.sip_t2_us)
+            yield from self.timer_list.insert(
+                self.engine.now + txn.rtx_interval_us, "rtx", branch, who)
+            actions.append(SendAction(txn.forwarded_text,
+                                      ToBinding(txn.forward_target),
+                                      "retransmit"))
+        return actions

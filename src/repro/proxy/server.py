@@ -1,0 +1,32 @@
+"""Facade: build the right architecture from a config."""
+
+from repro.proxy.base import BaseProxyServer
+from repro.proxy.config import ProxyConfig
+from repro.proxy.costs import CostModel
+from repro.proxy.sctp_server import SctpProxyServer
+from repro.proxy.tcp_server import TcpProxyServer
+from repro.proxy.threaded_server import ThreadedTcpProxyServer
+from repro.proxy.udp_server import UdpProxyServer
+
+_ARCHITECTURES = {
+    "udp": UdpProxyServer,
+    "tcp": TcpProxyServer,
+    "sctp": SctpProxyServer,
+    "tcp-threaded": ThreadedTcpProxyServer,
+}
+
+
+def build_proxy(machine, config: ProxyConfig,
+                costs: CostModel = None) -> BaseProxyServer:
+    """Construct (but not start) the proxy architecture ``config`` names.
+
+    Usage::
+
+        proxy = build_proxy(server_machine, ProxyConfig(transport="tcp",
+                                                        workers=32,
+                                                        fd_cache=True))
+        proxy.start()
+    """
+    config.validate()
+    cls = _ARCHITECTURES[config.transport]
+    return cls(machine, config, costs)

@@ -1,0 +1,459 @@
+"""The Fig. 1 architecture: TCP supervisor + connection-owning workers.
+
+The supervisor accepts every connection, keeps a descriptor copy for each,
+hands ownership to a worker over IPC, answers workers' descriptor
+requests, and tears down idle connections.  Workers read (only) the
+connections they own, frame SIP messages out of the bytestream, process
+them, and — to forward on a connection they do not own — request a
+descriptor from the supervisor, *blocking* until it answers (§3.1).
+
+The two §5 fixes are switchable via :class:`~repro.proxy.config.ProxyConfig`:
+
+- ``fd_cache=True`` — workers keep received descriptors (Fig. 4);
+- ``idle_strategy="pq"`` — timeout-ordered sweeps (Fig. 5).
+"""
+
+from typing import Dict, List, Optional
+
+from repro.kernel.fdtable import EmfileError, FileDescription
+from repro.kernel.ipc import FdPayload, IpcChannel, IpcMessage, receive_fd
+from repro.kernel.poller import Poller, TickSource
+from repro.kernel.sockets import PortExhaustedError
+from repro.net.tcp import TcpError, TcpListener, connect as tcp_connect
+from repro.proxy.base import BaseProxyServer
+from repro.proxy.conn_table import ConnRecord, ConnTable
+from repro.proxy.fd_cache import FdCache
+from repro.proxy.idle_pq import PqIdleStrategy
+from repro.proxy.idle_scan import ScanIdleStrategy
+from repro.proxy.routing import SendAction, ToBinding, ToSource, ToVia
+from repro.sim.primitives import Compute
+from repro.sip.parser import SipParseError, StreamFramer
+
+
+class _OwnedConn:
+    """A worker's view of a connection it owns."""
+
+    __slots__ = ("record", "fd", "framer")
+
+    def __init__(self, record: ConnRecord, fd: int) -> None:
+        self.record = record
+        self.fd = fd
+        self.framer = StreamFramer()
+
+
+class TcpProxyServer(BaseProxyServer):
+    """OpenSER over TCP."""
+
+    def __init__(self, machine, config, costs=None) -> None:
+        super().__init__(machine, config, costs)
+        self.listener = TcpListener(machine, config.port,
+                                    backlog=config.accept_backlog)
+        self.conn_table = ConnTable(self.costs)
+        if config.idle_strategy == "pq":
+            self.idle = PqIdleStrategy(self.costs, config.idle_timeout_us,
+                                       config.workers)
+        else:
+            self.idle = ScanIdleStrategy(self.costs, config.idle_timeout_us)
+        engine = machine.engine
+        #: supervisor -> worker: connection assignments (with fd)
+        self.assign_chans = [
+            IpcChannel(engine, capacity=config.ipc_capacity,
+                       name=f"assign-{i}")
+            for i in range(config.workers)
+        ]
+        #: worker <-> supervisor: fd requests/responses, releases
+        self.req_chans = [
+            IpcChannel(engine, capacity=config.ipc_capacity, name=f"req-{i}")
+            for i in range(config.workers)
+        ]
+        self.fd_caches: List[Optional[FdCache]] = [None] * config.workers
+        self._worker_procs: List = []
+        self._sup_proc = None
+        self._assign_rr = 0
+
+    def _spawn_processes(self) -> None:
+        self._sup_proc = self.machine.spawn(
+            self._supervisor_body(), "tcp-supervisor",
+            nice=self.config.supervisor_nice)
+        self.processes.append(self._sup_proc)
+        for index in range(self.config.workers):
+            proc = self.machine.spawn(self._worker_body(index),
+                                      f"tcp-worker-{index}",
+                                      nice=self.config.worker_nice)
+            self._worker_procs.append(proc)
+            self.processes.append(proc)
+        self.processes.append(self.machine.spawn(
+            self._timer_body(), "timer-proc", nice=self.config.worker_nice))
+
+    # ==================================================================
+    # supervisor
+    # ==================================================================
+    def _supervisor_body(self):
+        who = "tcp-supervisor"
+        engine = self.engine
+        poller = Poller(engine, name="sup-poller")
+        poller.add(self.listener)
+        for chan in self.req_chans:
+            poller.add(chan.b)
+        # Periodic wake-up so idle sweeps run even with no traffic.
+        tick = TickSource(engine, 500_000.0, name="sup-tick")
+        poller.add(tick)
+        last_scan = engine.now
+        while True:
+            ready = yield from poller.wait()
+            yield Compute(self.costs.poll_syscall_us +
+                          self.costs.poll_per_fd_us * len(poller.sources),
+                          "tcp_main_loop")
+            for source in ready:
+                if source is tick:
+                    tick.consume()
+                elif source is self.listener:
+                    while True:
+                        conn = self.listener.try_accept()
+                        if conn is None:
+                            break
+                        yield from self._handle_accept(conn, who)
+                else:
+                    while True:
+                        msg = source.try_recv()
+                        if msg is None:
+                            break
+                        yield Compute(self.costs.ipc_recv_us, "ipc_recv")
+                        yield from self._handle_worker_msg(source, msg, who)
+            if engine.now - last_scan >= self.config.supervisor_scan_interval_us:
+                last_scan = engine.now
+                expired = yield from self.idle.supervisor_pass(
+                    self.conn_table, engine.now, who, self.stats)
+                for record in expired:
+                    yield from self._destroy_record(record, who)
+
+    def _handle_accept(self, conn, who: str):
+        yield Compute(self.costs.accept_us, "tcp_accept")
+        fdtable = self._sup_proc.fdtable
+        desc = FileDescription(conn, "tcp-conn")
+        try:
+            sup_fd = fdtable.install(desc)
+        except EmfileError:
+            self.stats.accept_failures += 1
+            conn.close()
+            return
+        self.stats.accepts += 1
+        self.stats.conns_created += 1
+        worker = self._assign_rr % self.config.workers
+        self._assign_rr += 1
+        record = yield from self.conn_table.insert(conn, desc, worker,
+                                                   self.engine.now, who)
+        record.sup_fd = sup_fd
+        yield from self.idle.on_insert(record, self.engine.now)
+        yield Compute(self.costs.fd_dup_us + self.costs.ipc_send_us,
+                      "send_fd")
+        msg = IpcMessage("assign", payload=record, fd=FdPayload(desc))
+        endpoint = self.assign_chans[worker].a
+        if self.config.supervisor_blocking_send:
+            yield from endpoint.send(msg)
+        elif not endpoint.try_send(msg):
+            # Assignment buffer full: shed the connection.  (try_send took
+            # no queue reference, so only the supervisor's fd is closed.)
+            self.stats.send_failures += 1
+            fdtable.close(sup_fd)
+            yield from self.conn_table.remove(record, who)
+
+    def _handle_worker_msg(self, endpoint, msg: IpcMessage, who: str):
+        if msg.kind == "fd-req":
+            record: ConnRecord = msg.payload
+            self.stats.fd_requests += 1
+            yield Compute(self.costs.fd_request_cost(len(self.conn_table)) +
+                          self.costs.fd_dup_us, "tcpconn_send_fd")
+            if record.closed or record.desc.closed:
+                reply = IpcMessage("fd-gone", payload=record)
+            else:
+                reply = IpcMessage("fd-resp", payload=record,
+                                   fd=FdPayload(record.desc))
+            yield Compute(self.costs.ipc_send_us, "ipc_send")
+            if not endpoint.try_send(reply):
+                yield from endpoint.send(reply)
+        elif msg.kind == "release":
+            record = msg.payload
+            self.stats.conns_released_by_worker += 1
+            yield from self.idle.on_release(record, self.engine.now)
+        elif msg.kind == "new-outbound":
+            record = msg.payload
+            yield Compute(self.costs.fd_install_us, "receive_fd")
+            fdtable = self._sup_proc.fdtable
+            try:
+                record.sup_fd = receive_fd(msg, fdtable)
+            except EmfileError:
+                msg.fd.description.decref()
+                record.sup_fd = None
+        else:
+            raise ValueError(f"unknown supervisor message {msg.kind!r}")
+
+    def _destroy_record(self, record: ConnRecord, who: str):
+        fdtable = self._sup_proc.fdtable
+        yield Compute(self.costs.fd_close_us, "tcp_close")
+        if record.sup_fd is not None and record.sup_fd in fdtable:
+            fdtable.close(record.sup_fd)
+        record.sup_fd = None
+        yield from self.conn_table.remove(record, who)
+        self.stats.conns_closed_idle += 1
+
+    # ==================================================================
+    # workers
+    # ==================================================================
+    def _worker_body(self, index: int):
+        who = f"tcp-worker-{index}"
+        engine = self.engine
+        proc = self._worker_procs[index]
+        fdtable = proc.fdtable
+        cache = FdCache(fdtable, who) if self.config.fd_cache else None
+        self.fd_caches[index] = cache
+        assign_ep = self.assign_chans[index].b
+        req_ep = self.req_chans[index].a
+        poller = Poller(engine, name=f"{who}-poller")
+        poller.add(assign_ep)
+        tick = TickSource(engine, self.config.worker_idle_tick_us,
+                          name=f"{who}-tick")
+        poller.add(tick)
+        owned: Dict[object, _OwnedConn] = {}
+        ctx = _WorkerCtx(index, who, fdtable, cache, req_ep, poller, owned)
+        while True:
+            ready = yield from poller.wait()
+            yield Compute(self.costs.poll_syscall_us +
+                          self.costs.poll_per_fd_us * len(poller.sources),
+                          "epoll_wait")
+            for source in ready:
+                if source is tick:
+                    tick.consume()
+                elif source is assign_ep:
+                    while True:
+                        msg = assign_ep.try_recv()
+                        if msg is None:
+                            break
+                        yield from self._worker_take_conn(ctx, msg)
+                else:
+                    oc = owned.get(source)
+                    if oc is None:
+                        poller.remove(source)
+                        continue
+                    yield from self._worker_read(ctx, oc)
+            # §5.2: "even the worker processes examined every connection
+            # they owned" — OpenSER's receive loop checks timeouts every
+            # iteration, so the examination cost scales with both the
+            # owned population and the loop rate.  (The tick source only
+            # guarantees a wake-up when the connections have gone quiet.)
+            yield from self._worker_idle_pass(ctx)
+
+    def _worker_take_conn(self, ctx: "_WorkerCtx", msg: IpcMessage):
+        yield Compute(self.costs.ipc_recv_us + self.costs.fd_install_us,
+                      "receive_fd")
+        record: ConnRecord = msg.payload
+        try:
+            fd = receive_fd(msg, ctx.fdtable)
+        except EmfileError:
+            msg.fd.description.decref()
+            yield Compute(self.costs.ipc_send_us, "ipc_send")
+            yield from ctx.req_ep.send(IpcMessage("release", payload=record))
+            return
+        ctx.owned[record.conn] = _OwnedConn(record, fd)
+        ctx.poller.add(record.conn)
+
+    def _worker_read(self, ctx: "_WorkerCtx", oc: _OwnedConn):
+        data = oc.record.conn.try_recv(65536)
+        if data is None:
+            return
+        yield Compute(self.costs.tcp_recv_us, "tcp_read")
+        if data == "":
+            # Peer closed: drop our side.
+            yield from self._worker_drop_conn(ctx, oc.record)
+            return
+        try:
+            texts = oc.framer.feed(data)
+        except SipParseError:
+            self.stats.parse_errors += 1
+            yield from self._worker_drop_conn(ctx, oc.record)
+            return
+        for text in texts:
+            yield Compute(self.costs.tcp_frame_us, "tcp_read_headers")
+            yield from self.idle.on_activity(oc.record, self.engine.now)
+            actions = yield from self.core.process(text, source=oc.record,
+                                                   who=ctx.who)
+            contact = self.core.take_register_contact()
+            if contact is not None:
+                yield from self.conn_table.set_alias(oc.record, contact,
+                                                     ctx.who)
+            for action in actions:
+                yield from self._worker_send(ctx, action)
+
+    # -- sending ----------------------------------------------------------
+    def _worker_send(self, ctx: "_WorkerCtx", action: SendAction):
+        record = yield from self._resolve_target(ctx, action)
+        if record is None or record.closed:
+            self.stats.send_failures += 1
+            return
+        yield from self._send_on_record(ctx, record, action.text)
+
+    def _resolve_target(self, ctx: "_WorkerCtx", action: SendAction):
+        target = action.target
+        if isinstance(target, ToSource):
+            return target.source
+        if isinstance(target, ToBinding):
+            binding = target.binding
+            record = binding.conn
+            if isinstance(record, ConnRecord) and not record.closed and \
+                    not record.released:
+                return record
+            alias = (binding.addr, binding.port)
+            record = yield from self.conn_table.lookup_alias(alias, ctx.who)
+            if record is not None:
+                binding.conn = record
+                return record
+            record = yield from self._connect_out(ctx, binding)
+            return record
+        if isinstance(target, ToVia):
+            return (yield from self.conn_table.lookup_alias(
+                (target.addr, target.port), ctx.who))
+        raise TypeError(f"unroutable target {target!r}")
+
+    def _connect_out(self, ctx: "_WorkerCtx", binding):
+        """Generator: no live connection to the phone — dial out (consumes
+        a server ephemeral port; the §4.3 starvation ingredient)."""
+        yield Compute(self.costs.connect_us, "tcpconn_connect")
+        try:
+            conn = yield from tcp_connect(self.machine, binding.addr,
+                                          binding.port)
+        except (PortExhaustedError, TcpError):
+            return None
+        desc = FileDescription(conn, "tcp-conn")
+        try:
+            fd = ctx.fdtable.install(desc)
+        except EmfileError:
+            conn.close()
+            return None
+        self.stats.outbound_connects += 1
+        self.stats.conns_created += 1
+        record = yield from self.conn_table.insert(conn, desc, ctx.index,
+                                                   self.engine.now, ctx.who)
+        yield from self.idle.on_insert(record, self.engine.now)
+        yield from self.conn_table.set_alias(
+            record, (binding.addr, binding.port), ctx.who)
+        ctx.owned[conn] = _OwnedConn(record, fd)
+        ctx.poller.add(conn)
+        # The supervisor keeps a copy of every socket in the server (§3.1).
+        yield Compute(self.costs.fd_dup_us + self.costs.ipc_send_us,
+                      "send_fd")
+        yield from ctx.req_ep.send(IpcMessage("new-outbound", payload=record,
+                                              fd=FdPayload(desc)))
+        binding.conn = record
+        return record
+
+    def _send_on_record(self, ctx: "_WorkerCtx", record: ConnRecord,
+                        text: str):
+        oc = ctx.owned.get(record.conn)
+        close_after = False
+        fd: Optional[int] = None
+        if oc is not None:
+            fd = oc.fd  # we own it; our reader fd works for writing too
+        else:
+            if ctx.cache is not None:
+                yield Compute(self.costs.fd_cache_probe_us, "fd_cache_lookup")
+                fd = ctx.cache.probe(record)
+                if fd is not None:
+                    self.stats.fd_cache_hits += 1
+                else:
+                    self.stats.fd_cache_misses += 1
+            if fd is None:
+                fd = yield from self._request_fd(ctx, record)
+                if fd is None:
+                    self.stats.send_failures += 1
+                    return
+                if ctx.cache is not None:
+                    ctx.cache.store(record, fd)
+                else:
+                    close_after = True
+        yield Compute(self.costs.tcp_send_us, "tcp_send")
+        sent = record.conn.try_send(text)
+        if not sent:
+            try:
+                yield from record.conn.send(text)
+                sent = True
+            except TcpError:
+                sent = False
+        if sent:
+            self.stats.messages_sent += 1
+            yield from self.idle.on_activity(record, self.engine.now)
+        else:
+            self.stats.send_failures += 1
+        if close_after and fd in ctx.fdtable:
+            # The baseline behaviour the fd cache exists to fix (§5.1):
+            # immediately close the descriptor we just fetched.
+            yield Compute(self.costs.fd_close_us, "tcp_close_fd")
+            ctx.fdtable.close(fd)
+
+    def _request_fd(self, ctx: "_WorkerCtx", record: ConnRecord):
+        """Generator: the §3.1 IPC round trip — the worker blocks."""
+        yield Compute(self.costs.ipc_send_us, "ipc_send_fd_request")
+        yield from ctx.req_ep.send(IpcMessage("fd-req", payload=record))
+        reply = yield from ctx.req_ep.recv()
+        yield Compute(self.costs.ipc_recv_us, "ipc_recv")
+        if reply.kind != "fd-resp" or reply.fd is None:
+            return None
+        yield Compute(self.costs.fd_install_us, "receive_fd")
+        try:
+            return receive_fd(reply, ctx.fdtable)
+        except EmfileError:
+            reply.fd.description.decref()
+            return None
+
+    # -- idle management ------------------------------------------------
+    def _worker_idle_pass(self, ctx: "_WorkerCtx"):
+        records = [oc.record for oc in ctx.owned.values()]
+        expired = yield from self.idle.worker_pass(
+            records, self.engine.now, ctx.who, self.stats,
+            worker_index=ctx.index)
+        for record in expired:
+            yield from self._worker_drop_conn(ctx, record)
+        if ctx.cache is not None:
+            evicted = ctx.cache.evict_dead()
+            if evicted:
+                yield Compute(self.costs.fd_close_us * evicted,
+                              "tcp_close_fd")
+
+    def _worker_drop_conn(self, ctx: "_WorkerCtx", record: ConnRecord):
+        """Close our fds for a connection and return it to the supervisor
+        (the first half of the §3.1 two-step teardown)."""
+        oc = ctx.owned.pop(record.conn, None)
+        if oc is None:
+            return
+        ctx.poller.remove(record.conn)
+        yield Compute(self.costs.fd_close_us, "tcp_close_fd")
+        if oc.fd in ctx.fdtable:
+            ctx.fdtable.close(oc.fd)
+        if ctx.cache is not None:
+            ctx.cache.evict_record(record)
+        yield Compute(self.costs.ipc_send_us, "ipc_send")
+        yield from ctx.req_ep.send(IpcMessage("release", payload=record))
+
+    # -- timer process -----------------------------------------------------
+    def _timer_send(self, action: SendAction):
+        # TCP is reliable: the timer list only ever carries GC entries, so
+        # no retransmission should reach here (§3.1: "superfluous").
+        self.stats.send_failures += 1
+        return
+        yield  # pragma: no cover - keep generator shape
+
+
+class _WorkerCtx:
+    """Bundles one worker's mutable state for the helper generators."""
+
+    __slots__ = ("index", "who", "fdtable", "cache", "req_ep", "poller",
+                 "owned")
+
+    def __init__(self, index, who, fdtable, cache, req_ep, poller,
+                 owned) -> None:
+        self.index = index
+        self.who = who
+        self.fdtable = fdtable
+        self.cache = cache
+        self.req_ep = req_ep
+        self.poller = poller
+        self.owned = owned

@@ -1,0 +1,63 @@
+"""The Fig. 2 architecture: symmetric UDP worker processes.
+
+Every worker runs the same loop — receive a datagram from the shared
+socket, process it, transmit the results — with no connection state and
+no supervisor.  Only the transaction table (and the timer list) are
+shared, and a timer process retransmits unanswered forwards because UDP
+will not.
+"""
+
+from repro.net.udp import UdpEndpoint
+from repro.proxy.base import BaseProxyServer
+from repro.proxy.routing import SendAction, ToBinding, ToSource, ToVia
+from repro.sim.primitives import Compute
+
+
+class UdpProxyServer(BaseProxyServer):
+    """OpenSER over UDP."""
+
+    def __init__(self, machine, config, costs=None) -> None:
+        super().__init__(machine, config, costs)
+        self.socket = UdpEndpoint(machine, config.port,
+                                  rcvbuf_datagrams=config.udp_rcvbuf_datagrams)
+
+    def _spawn_processes(self) -> None:
+        for index in range(self.config.workers):
+            self.processes.append(self.machine.spawn(
+                self._worker_body(index), f"udp-worker-{index}",
+                nice=self.config.worker_nice))
+        self.processes.append(self.machine.spawn(
+            self._timer_body(), "timer-proc", nice=self.config.worker_nice))
+
+    # ------------------------------------------------------------------
+    def _worker_body(self, index: int):
+        who = f"udp-worker-{index}"
+        while True:
+            dgram = yield from self.socket.recvfrom()
+            yield Compute(self.costs.udp_recv_us, "udp_rcv_loop")
+            actions = yield from self.core.process(
+                dgram.payload, source=dgram.source, who=who)
+            yield from self._execute(actions)
+
+    def _execute(self, actions):
+        for action in actions:
+            yield Compute(self.costs.udp_send_us, "udp_send")
+            addr, port = self._resolve(action)
+            self.socket.sendto(action.text, addr, port)
+            self.stats.messages_sent += 1
+
+    def _resolve(self, action: SendAction):
+        target = action.target
+        if isinstance(target, ToSource):
+            return target.source
+        if isinstance(target, ToBinding):
+            return (target.binding.addr, target.binding.port)
+        if isinstance(target, ToVia):
+            return (target.addr, target.port)
+        raise TypeError(f"unroutable target {target!r}")
+
+    def _timer_send(self, action: SendAction):
+        yield Compute(self.costs.udp_send_us, "udp_send")
+        addr, port = self._resolve(action)
+        self.socket.sendto(action.text, addr, port)
+        self.stats.messages_sent += 1

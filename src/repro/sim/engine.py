@@ -1,0 +1,154 @@
+"""The discrete-event engine: a clock and an ordered event heap.
+
+Time is measured in **microseconds of simulated time** throughout the
+project.  The engine guarantees deterministic ordering: events scheduled
+for the same instant fire in the order they were scheduled.
+"""
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation core."""
+
+
+class Scheduled:
+    """Handle for a scheduled callback; allows cancellation.
+
+    Returned by :meth:`Engine.schedule` and :meth:`Engine.schedule_at`.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Scheduled") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Scheduled t={self.time:.1f} fn={getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Engine:
+    """Event loop holding the simulated clock.
+
+    Usage::
+
+        eng = Engine()
+        eng.schedule(10.0, callback)     # run callback at now+10 µs
+        eng.run(until=1_000_000)         # simulate one second
+    """
+
+    #: compaction triggers: heap larger than this and mostly cancelled
+    COMPACT_MIN = 65536
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Scheduled] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self._steps_since_compact = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Scheduled:
+        """Schedule ``fn(*args)`` to run ``delay`` µs from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Scheduled:
+        """Schedule ``fn(*args)`` to run at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time}, now={self.now})"
+            )
+        self._seq += 1
+        item = Scheduled(time, self._seq, fn, args)
+        # Heap entries are (time, seq, item) tuples so ordering runs on C
+        # tuple comparison rather than Scheduled.__lt__.
+        heapq.heappush(self._heap, (time, self._seq, item))
+        return item
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Drop cancelled entries from the heap (kept lazily otherwise)."""
+        live = [entry for entry in self._heap if not entry[2].cancelled]
+        if len(live) < len(self._heap):
+            self._heap = live
+            heapq.heapify(self._heap)
+
+    def _maybe_compact(self) -> None:
+        self._steps_since_compact += 1
+        if self._steps_since_compact < 100_000 or \
+                len(self._heap) < self.COMPACT_MIN:
+            return
+        self._steps_since_compact = 0
+        self.compact()
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when none remain."""
+        self._maybe_compact()
+        while self._heap:
+            time, __, item = heapq.heappop(self._heap)
+            if item.cancelled:
+                continue
+            if time < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = time
+            item.fn(*item.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the heap empties or the clock passes ``until``.
+
+        Returns the simulated time at which the run stopped.  When
+        ``until`` is given the clock is advanced to exactly ``until`` even
+        if the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                head_time, __, head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head_time > until:
+                    break
+                self.step()
+            if until is not None and self.now < until and not self._stopped:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def stop(self) -> None:
+        """Stop an in-progress :meth:`run` after the current event."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the heap."""
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
+
+    def __repr__(self) -> str:
+        return f"<Engine now={self.now:.1f}us pending={self.pending}>"

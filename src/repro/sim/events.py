@@ -1,0 +1,135 @@
+"""Synchronization objects for simulated processes.
+
+Two flavours:
+
+- :class:`Event` — one-shot: fires once with a value; late waiters resume
+  immediately with that value.
+- :class:`Signal` — multi-shot: each :meth:`Signal.fire` wakes the waiters
+  registered at that moment and is then forgotten.
+"""
+
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A one-shot event carrying a value.
+
+    Processes wait on it via ``yield Wait(event)``; arbitrary callbacks can
+    subscribe with :meth:`subscribe`.
+    """
+
+    __slots__ = ("engine", "name", "fired", "value", "_callbacks")
+
+    def __init__(self, engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the event fires (or now if it has)."""
+        if self.fired:
+            self.engine.schedule(0.0, callback, self.value)
+        else:
+            self._callbacks.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the event, waking all subscribers.  Firing twice is an error."""
+        if self.fired:
+            raise RuntimeError(f"event {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.engine.schedule(0.0, callback, value)
+
+    def __repr__(self) -> str:
+        state = f"fired={self.value!r}" if self.fired else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Signal:
+    """A repeatable wake-up source.
+
+    Each call to :meth:`fire` wakes exactly the callbacks registered at the
+    time of the call; registrations are not persistent.
+    """
+
+    __slots__ = ("engine", "name", "_callbacks", "_listeners")
+
+    def __init__(self, engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._callbacks: List[Callable[[Any], None]] = []
+        #: persistent listeners, called synchronously on every fire (used
+        #: by pollers so they need not re-subscribe per wait round)
+        self._listeners: List[Callable[[Any], None]] = []
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        self._callbacks.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Any], None]) -> None:
+        if callback in self._callbacks:
+            self._callbacks.remove(callback)
+
+    def listen(self, callback: Callable[[Any], None]) -> None:
+        """Persistently observe every fire (not cleared by firing)."""
+        self._listeners.append(callback)
+
+    def unlisten(self, callback: Callable[[Any], None]) -> None:
+        if callback in self._listeners:
+            self._listeners.remove(callback)
+
+    @property
+    def waiters(self) -> int:
+        return len(self._callbacks)
+
+    def fire(self, value: Any = None) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.engine.schedule(0.0, callback, value)
+        for listener in list(self._listeners):
+            listener(value)
+
+    def fire_one(self, value: Any = None) -> bool:
+        """Wake only the longest-waiting subscriber.  Returns False if none."""
+        if not self._callbacks:
+            return False
+        callback = self._callbacks.pop(0)
+        self.engine.schedule(0.0, callback, value)
+        return True
+
+    def __repr__(self) -> str:
+        return f"<Signal {self.name!r} waiters={len(self._callbacks)}>"
+
+
+class Condition:
+    """A level-triggered condition: waiters wake whenever ``check()`` holds.
+
+    Built from a predicate over external state plus a :class:`Signal` that
+    interested parties pulse via :meth:`notify` after mutating that state.
+    """
+
+    def __init__(self, engine, predicate: Callable[[], bool], name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._predicate = predicate
+        self._signal = Signal(engine, name=f"{name}.signal")
+
+    def holds(self) -> bool:
+        return bool(self._predicate())
+
+    def notify(self) -> None:
+        """Re-test the predicate and wake all waiters if it holds."""
+        if self.holds():
+            self._signal.fire()
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        if self.holds():
+            self.engine.schedule(0.0, callback, None)
+        else:
+            self._signal.subscribe(callback)
+
+    def __repr__(self) -> str:
+        return f"<Condition {self.name!r} holds={self.holds()}>"

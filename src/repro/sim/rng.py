@@ -1,0 +1,32 @@
+"""Deterministic named random streams.
+
+Every stochastic choice in the simulation (network jitter, workload
+think times, hash placement, ...) draws from a stream obtained via
+``RngStreams.stream(name)``.  Streams are independent and derived from the
+master seed, so a run is reproducible and adding a new consumer does not
+perturb existing streams.
+"""
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngStreams:
+    """A family of independent :class:`random.Random` streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def __repr__(self) -> str:
+        return f"<RngStreams seed={self.seed} streams={sorted(self._streams)}>"

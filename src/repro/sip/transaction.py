@@ -1,0 +1,199 @@
+"""UAC/UAS transaction state machines with RFC 3261 timers.
+
+The benchmark phones use these to behave like real SIP endpoints: over
+UDP they retransmit requests (timer A/E, exponential backoff from T1) and
+final responses (timer G) and give up after 64×T1 (timers B/F/H); over
+reliable transports the retransmission timers stay quiet, exactly as the
+RFC prescribes.
+
+The *proxy* keeps its transaction state in
+:mod:`repro.proxy.txn_table` instead — its retransmissions must run inside
+a scheduled timer process and charge simulated CPU.
+"""
+
+import enum
+from typing import Callable, Optional
+
+from repro.kernel.timerwheel import Timer
+from repro.sip.message import SipRequest, SipResponse
+
+
+class TransactionTimers:
+    """RFC 3261 timer values in microseconds."""
+
+    def __init__(self, t1_us: float = 500_000.0, t2_us: float = 4_000_000.0,
+                 t4_us: float = 5_000_000.0) -> None:
+        self.t1 = t1_us
+        self.t2 = t2_us
+        self.t4 = t4_us
+
+    @property
+    def timeout(self) -> float:
+        """Timer B/F/H: transaction gives up after 64×T1."""
+        return 64.0 * self.t1
+
+
+class TxnState(enum.Enum):
+    CALLING = "calling"          # request sent, nothing back
+    PROCEEDING = "proceeding"    # provisional received/sent
+    COMPLETED = "completed"      # final response seen/sent
+    TERMINATED = "terminated"
+
+
+class ClientTransaction:
+    """UAC transaction: send a request, absorb the response pattern.
+
+    ``send_fn(text)`` must be non-blocking (datagram send or buffered
+    stream write).  Callbacks:
+
+    - ``on_response(response)`` for every matching response;
+    - ``on_timeout()`` if no final response within 64×T1.
+    """
+
+    def __init__(self, engine, request: SipRequest,
+                 send_fn: Callable[[str], None], reliable: bool,
+                 timers: Optional[TransactionTimers] = None,
+                 on_response: Optional[Callable] = None,
+                 on_timeout: Optional[Callable] = None) -> None:
+        self.engine = engine
+        self.request = request
+        self.send_fn = send_fn
+        self.reliable = reliable
+        self.timers = timers or TransactionTimers()
+        self.on_response = on_response
+        self.on_timeout = on_timeout
+        self.state = TxnState.CALLING
+        self.branch = request.top_via.branch if request.top_via else None
+        self.retransmissions = 0
+        self._interval = self.timers.t1
+        self._retransmit_timer = Timer(engine, self._retransmit)
+        self._timeout_timer = Timer(engine, self._timed_out)
+        self.final_response: Optional[SipResponse] = None
+
+    def start(self) -> None:
+        self.send_fn(self.request.render())
+        if not self.reliable:
+            self._retransmit_timer.start(self._interval)
+        self._timeout_timer.start(self.timers.timeout)
+
+    def matches(self, response: SipResponse) -> bool:
+        via = response.top_via
+        if via is None or via.branch != self.branch:
+            return False
+        cseq = response.cseq
+        return cseq is not None and cseq.method == self.request.method
+
+    def handle_response(self, response: SipResponse) -> None:
+        if self.state is TxnState.TERMINATED:
+            return
+        if response.is_provisional:
+            self.state = TxnState.PROCEEDING
+            # Provisional response: stop hammering, keep waiting.
+            self._retransmit_timer.cancel()
+        else:
+            self.final_response = response
+            self.state = TxnState.COMPLETED
+            self._retransmit_timer.cancel()
+            self._timeout_timer.cancel()
+            self.state = TxnState.TERMINATED
+        if self.on_response is not None:
+            self.on_response(response)
+
+    def cancel(self) -> None:
+        self.state = TxnState.TERMINATED
+        self._retransmit_timer.cancel()
+        self._timeout_timer.cancel()
+
+    def abort(self) -> None:
+        """Fail the transaction immediately (transport error, RFC 3261
+        §8.1.3.1: treat as a 503/timeout)."""
+        self._timed_out()
+
+    def _retransmit(self) -> None:
+        if self.state is not TxnState.CALLING:
+            return
+        self.retransmissions += 1
+        self.send_fn(self.request.render())
+        self._interval = min(self._interval * 2.0, self.timers.t2)
+        self._retransmit_timer.start(self._interval)
+
+    def _timed_out(self) -> None:
+        if self.state in (TxnState.COMPLETED, TxnState.TERMINATED):
+            return
+        self.state = TxnState.TERMINATED
+        self._retransmit_timer.cancel()
+        if self.on_timeout is not None:
+            self.on_timeout()
+
+    def __repr__(self) -> str:
+        return (f"<ClientTransaction {self.request.method} "
+                f"{self.state.value} rtx={self.retransmissions}>")
+
+
+class ServerTransaction:
+    """UAS transaction: absorb request retransmissions, repeat the final
+    response until acknowledged (INVITE) or until timer J/H expires."""
+
+    def __init__(self, engine, request: SipRequest,
+                 send_fn: Callable[[str], None], reliable: bool,
+                 timers: Optional[TransactionTimers] = None) -> None:
+        self.engine = engine
+        self.request = request
+        self.send_fn = send_fn
+        self.reliable = reliable
+        self.timers = timers or TransactionTimers()
+        self.key = request.transaction_key()
+        self.state = TxnState.PROCEEDING
+        self.last_response: Optional[SipResponse] = None
+        self.retransmissions = 0
+        self.request_retransmissions_absorbed = 0
+        self._interval = self.timers.t1
+        self._retransmit_timer = Timer(engine, self._retransmit)
+        self._give_up_timer = Timer(engine, self._give_up)
+
+    def respond(self, response: SipResponse) -> None:
+        """Send a response; final responses arm the retransmit machinery."""
+        self.last_response = response
+        self.send_fn(response.render())
+        if response.is_final:
+            self.state = TxnState.COMPLETED
+            if self.request.method == "INVITE":
+                if not self.reliable:
+                    self._retransmit_timer.start(self._interval)
+                self._give_up_timer.start(self.timers.timeout)
+            else:
+                # Non-INVITE: linger briefly to absorb retransmissions.
+                self._give_up_timer.start(
+                    self.timers.t4 if not self.reliable else 0.0)
+
+    def handle_request_retransmission(self) -> None:
+        """The same request arrived again: replay our last response."""
+        self.request_retransmissions_absorbed += 1
+        if self.last_response is not None:
+            self.send_fn(self.last_response.render())
+
+    def handle_ack(self) -> None:
+        """ACK confirms our 2xx: stop retransmitting."""
+        self.state = TxnState.TERMINATED
+        self._retransmit_timer.cancel()
+        self._give_up_timer.cancel()
+
+    @property
+    def terminated(self) -> bool:
+        return self.state is TxnState.TERMINATED
+
+    def _retransmit(self) -> None:
+        if self.state is not TxnState.COMPLETED:
+            return
+        self.retransmissions += 1
+        self.send_fn(self.last_response.render())
+        self._interval = min(self._interval * 2.0, self.timers.t2)
+        self._retransmit_timer.start(self._interval)
+
+    def _give_up(self) -> None:
+        self.state = TxnState.TERMINATED
+        self._retransmit_timer.cancel()
+
+    def __repr__(self) -> str:
+        return (f"<ServerTransaction {self.request.method} "
+                f"{self.state.value}>")

@@ -1,0 +1,64 @@
+"""The §4.1 testbed: one 4-core server, three client machines, gigabit LAN.
+
+:class:`Testbed` wires together the engine, the fabric, the machines and
+(optionally) a profiler, leaving proxy/workload construction to
+:func:`repro.proxy.build_proxy` and :mod:`repro.clients`.
+"""
+
+from typing import List, Optional
+
+from repro.kernel.machine import Machine
+from repro.net.fabric import Fabric
+from repro.profiling.profiler import Profiler
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+
+SERVER_NAME = "server"
+CLIENT_NAMES = ("client1", "client2", "client3")
+
+
+class Testbed:
+    """The paper's hardware, in simulation."""
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(
+        self,
+        seed: int = 0,
+        server_cores: int = 4,
+        n_client_machines: int = 3,
+        latency_us: float = 50.0,
+        bandwidth_bytes_per_us: float = 125.0,
+        server_fd_limit: int = 16384,
+        quantum_us: float = 2000.0,
+        time_wait_us: float = 60_000_000.0,
+        profile: bool = False,
+    ) -> None:
+        self.engine = Engine()
+        self.rng = RngStreams(seed)
+        self.profiler = Profiler(self.engine) if profile else None
+        self.fabric = Fabric(self.engine, latency_us=latency_us,
+                             bandwidth_bytes_per_us=bandwidth_bytes_per_us,
+                             rng=self.rng.stream("net"))
+        self.server = Machine(self.engine, SERVER_NAME, n_cores=server_cores,
+                              quantum_us=quantum_us, profiler=self.profiler,
+                              fd_limit=server_fd_limit,
+                              time_wait_us=time_wait_us)
+        self.fabric.attach(self.server)
+        self.clients: List[Machine] = []
+        for i in range(n_client_machines):
+            name = CLIENT_NAMES[i] if i < len(CLIENT_NAMES) else f"client{i+1}"
+            client = Machine(self.engine, name, n_cores=2)
+            self.fabric.attach(client)
+            self.clients.append(client)
+
+    def client_for(self, index: int) -> Machine:
+        """Round-robin phones across the client machines (§4.2)."""
+        return self.clients[index % len(self.clients)]
+
+    def run(self, until_us: float) -> float:
+        return self.engine.run(until=until_us)
+
+    def __repr__(self) -> str:
+        return (f"<Testbed server={self.server.name} "
+                f"clients={[c.name for c in self.clients]}>")

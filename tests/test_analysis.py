@@ -1,0 +1,85 @@
+"""Unit tests for the experiment drivers and table rendering."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentSpec,
+    SCALED_IDLE_TIMEOUT_US,
+    TIME_COMPRESSION,
+)
+from repro.analysis.paper_data import CLIENT_COUNTS, PAPER_FIGURES, SERIES
+from repro.analysis.tables import render_comparison, render_figure
+
+
+class TestExperimentSpec:
+    def test_series_mapping(self):
+        assert ExperimentSpec(series="udp").transport() == "udp"
+        assert ExperimentSpec(series="tcp-50").transport() == "tcp"
+        assert ExperimentSpec(series="tcp-persistent").ops_per_conn() is None
+
+    def test_ops_per_conn_compressed_with_timeout(self):
+        spec = ExperimentSpec(series="tcp-50",
+                              idle_timeout_us=SCALED_IDLE_TIMEOUT_US)
+        assert spec.ops_per_conn() == round(50 / TIME_COMPRESSION)
+
+    def test_uncompressed_timeout_keeps_nominal_ops(self):
+        spec = ExperimentSpec(series="tcp-50",
+                              idle_timeout_us=10_000_000.0)
+        assert spec.ops_per_conn() == 50
+        long_spec = ExperimentSpec(series="tcp-50",
+                                   idle_timeout_us=120_000_000.0)
+        assert long_spec.ops_per_conn() == 50
+
+    def test_ops_override(self):
+        spec = ExperimentSpec(series="tcp-50", ops_per_conn_override=7)
+        assert spec.ops_per_conn() == 7
+
+    def test_default_workers_follow_the_paper(self):
+        assert ExperimentSpec(series="udp").default_workers() == 24
+        assert ExperimentSpec(series="tcp-persistent").default_workers() == 32
+
+    def test_churn_warmup_covers_population_buildup(self):
+        spec = ExperimentSpec(series="tcp-50")
+        warmup, __ = spec.windows()
+        assert warmup >= 2.0 * spec.idle_timeout_us
+
+    def test_explicit_windows_win(self):
+        spec = ExperimentSpec(series="tcp-50", warmup_us=1.0, measure_us=2.0)
+        assert spec.windows() == (1.0, 2.0)
+
+
+class TestPaperData:
+    def test_every_figure_has_full_grid(self):
+        for figure in PAPER_FIGURES.values():
+            assert set(figure) == set(SERIES)
+            for row in figure.values():
+                assert set(row) == set(CLIENT_COUNTS)
+
+    def test_udp_identical_across_figures(self):
+        assert PAPER_FIGURES["fig3"]["udp"] == PAPER_FIGURES["fig4"]["udp"]
+
+    def test_fixes_improve_tcp_in_paper_data(self):
+        for count in CLIENT_COUNTS:
+            assert PAPER_FIGURES["fig5"]["tcp-50"][count] > \
+                PAPER_FIGURES["fig3"]["tcp-50"][count]
+
+
+class TestTables:
+    def grid(self):
+        return {"udp": {100: 30000.0, 1000: 28000.0},
+                "tcp-persistent": {100: 15000.0, 1000: 10000.0}}
+
+    def test_render_figure_contains_values(self):
+        text = render_figure("test", self.grid(), clients=(100, 1000))
+        assert "30000" in text
+        assert "TCP persistent" in text
+
+    def test_render_figure_handles_missing_cells(self):
+        grid = {"udp": {100: 30000.0}}
+        text = render_figure("test", grid, clients=(100, 1000))
+        assert "-" in text
+
+    def test_render_comparison_shows_ratios(self):
+        text = render_comparison("fig3", self.grid(), clients=(100, 1000))
+        assert "0.50" in text  # measured tcp/udp at 100
+        assert "0.43" in text  # paper ratio at 100

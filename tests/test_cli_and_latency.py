@@ -1,0 +1,69 @@
+"""Unit tests for the CLI entry point and latency reporting."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.clients.workload import percentiles
+
+
+class TestPercentiles:
+    def test_empty(self):
+        assert percentiles([]) == {}
+
+    def test_single_sample(self):
+        assert percentiles([42.0]) == {"p50": 42.0, "p95": 42.0, "p99": 42.0}
+
+    def test_ordering_irrelevant(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        out = percentiles(samples, points=(50,))
+        assert out["p50"] == 3.0
+
+    def test_p99_near_max(self):
+        samples = list(range(1, 101))
+        out = percentiles(samples)
+        assert out["p99"] == 99
+        assert out["p50"] == 50
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.series == "udp"
+        assert args.clients == 100
+        assert args.nice == -20
+
+    def test_parser_rejects_unknown_series(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--series", "carrier-pigeon"])
+
+    def test_cli_runs_a_tiny_cell(self, capsys):
+        code = main(["--series", "udp", "--clients", "4",
+                     "--measure-us", "50000", "--workers", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "transactions/s" in out
+
+    def test_cli_profile_output(self, capsys):
+        code = main(["--series", "udp", "--clients", "2",
+                     "--measure-us", "30000", "--workers", "2",
+                     "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parse_msg" in out
+
+
+def test_benchmark_result_carries_latency_percentiles():
+    from repro import ProxyConfig, Testbed, Workload, build_proxy
+    from repro.clients import BenchmarkManager
+    bed = Testbed(seed=1)
+    proxy = build_proxy(bed.server,
+                        ProxyConfig(transport="udp", workers=4)).start()
+    result = BenchmarkManager(
+        bed, proxy, Workload(clients=4, warmup_us=20_000.0,
+                             measure_us=60_000.0)).run()
+    latency = result.setup_latency_us
+    assert set(latency) == {"p50", "p95", "p99"}
+    assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+    # Setup includes at least two network round trips through the proxy.
+    assert latency["p50"] > 100.0

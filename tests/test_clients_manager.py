@@ -1,0 +1,84 @@
+"""Unit tests for workload specs and the benchmark manager."""
+
+import pytest
+
+from repro import ProxyConfig, Testbed, Workload, build_proxy
+from repro.clients import BenchmarkManager
+from repro.clients.workload import BenchmarkResult
+
+
+class TestWorkload:
+    def test_defaults_are_valid(self):
+        Workload().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(clients=0),
+        dict(ops_per_conn=0),
+        dict(measure_us=0),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Workload(**kwargs).validate()
+
+
+class TestManager:
+    def make(self, clients=4, **workload_kwargs):
+        bed = Testbed(seed=2)
+        proxy = build_proxy(bed.server,
+                            ProxyConfig(transport="udp", workers=4)).start()
+        workload = Workload(clients=clients, warmup_us=20_000.0,
+                            measure_us=80_000.0, **workload_kwargs)
+        return bed, proxy, BenchmarkManager(bed, proxy, workload)
+
+    def test_setup_creates_caller_callee_pairs(self):
+        bed, __, manager = self.make(clients=6)
+        manager.setup_phones()
+        assert len(manager.callers) == 6
+        assert len(manager.callees) == 6
+        # Spread across the three client machines.
+        machines = {phone.machine.name for phone in manager.callers}
+        assert machines == {"client1", "client2", "client3"}
+
+    def test_caller_and_callee_on_different_machines(self):
+        bed, __, manager = self.make(clients=3)
+        manager.setup_phones()
+        for caller, callee in zip(manager.callers, manager.callees):
+            assert caller.machine.name != callee.machine.name
+
+    def test_run_returns_measured_result(self):
+        __, __, manager = self.make()
+        result = manager.run()
+        assert isinstance(result, BenchmarkResult)
+        assert result.ops > 0
+        assert result.duration_us == pytest.approx(80_000.0)
+        assert result.throughput_ops_s == pytest.approx(
+            result.ops / (result.duration_us / 1e6))
+        assert 0.0 < result.cpu_utilization <= 1.01
+
+    def test_measurement_excludes_warmup_and_registration(self):
+        __, proxy, manager = self.make()
+        result = manager.run()
+        # Registrations happened but are not in the measured delta.
+        assert proxy.stats.registrations >= 8
+        assert result.proxy_stats["registrations"] == 0
+
+    def test_registration_failure_raises(self):
+        bed = Testbed(seed=2)
+        # No proxy started: nothing will answer the REGISTERs.
+        proxy = build_proxy(bed.server,
+                            ProxyConfig(transport="udp", workers=4))
+        # (note: not .start()ed)
+        workload = Workload(clients=2, warmup_us=10_000.0,
+                            measure_us=10_000.0,
+                            register_deadline_us=300_000.0)
+        manager = BenchmarkManager(bed, proxy, workload)
+        with pytest.raises(RuntimeError, match="failed to register"):
+            manager.run()
+
+    def test_stop_halts_phones(self):
+        __, __, manager = self.make()
+        manager.run()
+        manager.stop()
+        assert all(not p.alive
+                   for phone in manager.callers
+                   for p in phone.processes)

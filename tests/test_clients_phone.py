@@ -1,0 +1,176 @@
+"""Unit tests for the benchmark phones (against a scripted fake proxy)."""
+
+import pytest
+
+from repro.clients.phone import Phone
+from repro.net.udp import UdpEndpoint
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sip.builder import MessageBuilder
+from repro.sip.parser import parse_message
+from repro.sip.transaction import TransactionTimers
+
+from conftest import make_lan
+
+
+class ScriptedProxy:
+    """A minimal UDP 'proxy' that relays between two phones directly."""
+
+    def __init__(self, machine, port=5060):
+        self.machine = machine
+        self.socket = UdpEndpoint(machine, port)
+        self.bindings = {}
+        self.seen = []
+        self.drop_methods = set()
+        machine.engine.schedule(0.0, self._arm)
+
+    def _arm(self):
+        self.socket.buffer.readable_signal.listen(self._pump)
+        self._pump()
+
+    def _pump(self, _value=None):
+        while True:
+            dgram = self.socket.try_recvfrom()
+            if dgram is None:
+                return
+            self._handle(dgram)
+
+    def _handle(self, dgram):
+        msg = parse_message(dgram.payload)
+        self.seen.append(msg)
+        if msg.is_request and msg.method == "REGISTER":
+            contact = msg.contact.uri
+            self.bindings[msg.to_addr.uri.aor] = (contact.host,
+                                                  contact.port or 5060)
+            reply = self._response(msg, 200)
+            self.socket.sendto(reply, dgram.src_addr, dgram.src_port)
+            return
+        if msg.is_request:
+            if msg.method in self.drop_methods:
+                return
+            target = self.bindings.get(msg.uri.aor) or \
+                (msg.uri.host, msg.uri.port or 5060)
+            self.socket.sendto(dgram.payload, target[0], target[1])
+        else:
+            via = msg.top_via
+            self.socket.sendto(dgram.payload, via.host, via.port)
+
+    @staticmethod
+    def _response(request, status):
+        from repro.sip.message import SipResponse
+        response = SipResponse(status)
+        for value in request.get_all("Via"):
+            response.add("Via", value)
+        for name in ("From", "To", "Call-ID", "CSeq"):
+            response.add(name, request.get(name))
+        response.add("Content-Length", "0")
+        return response.render()
+
+
+def make_pair(engine, timers=None, **phone_kwargs):
+    __, machines = make_lan(engine, ["server", "client1", "client2"])
+    proxy = ScriptedProxy(machines["server"])
+    go = Event(engine, "go")
+    timers = timers or TransactionTimers()
+    caller = Phone(machines["client1"], "alice", "example.com", 20000,
+                   "udp", "server", 5060,
+                   rng=__import__("random").Random(1), role="caller",
+                   peer_user="bob", go_event=go, timers=timers,
+                   **phone_kwargs)
+    callee = Phone(machines["client2"], "bob", "example.com", 30000,
+                   "udp", "server", 5060,
+                   rng=__import__("random").Random(2), role="callee",
+                   timers=timers)
+    return proxy, go, caller.start(), callee.start()
+
+
+def test_phones_register_then_call(engine):
+    proxy, go, caller, callee = make_pair(engine)
+    engine.run(until=1_000_000.0)
+    assert caller.registered and callee.registered
+    go.fire(None)
+    engine.run(until=2_000_000.0)
+    assert caller.calls_completed > 0
+    assert caller.ops_completed == caller.calls_completed * 2
+    assert callee.handled_ops > 0
+    assert caller.calls_failed == 0
+
+
+def test_call_message_sequence(engine):
+    proxy, go, caller, callee = make_pair(engine, think_time_us=1e9)
+    engine.run(until=1_000_000.0)
+    go.fire(None)
+    engine.run(until=2_000_000.0)
+    methods = [m.method for m in proxy.seen
+               if m.is_request and m.method != "REGISTER"]
+    # One full call: INVITE, ACK, BYE, in order.
+    assert methods[:3] == ["INVITE", "ACK", "BYE"]
+
+
+def test_caller_times_out_when_callee_unreachable(engine):
+    timers = TransactionTimers(t1_us=20_000.0)
+    proxy, go, caller, callee = make_pair(engine, timers=timers)
+    proxy.drop_methods.add("INVITE")
+    engine.run(until=1_000_000.0)
+    go.fire(None)
+    engine.run(until=engine.now + 5_000_000.0)
+    assert caller.calls_failed > 0
+    assert caller.calls_completed == 0
+
+
+def test_caller_retransmits_over_udp(engine):
+    """Drop the first INVITE: the caller's timer A resends and the call
+    still completes."""
+    timers = TransactionTimers(t1_us=50_000.0)
+    proxy, go, caller, callee = make_pair(engine, timers=timers,
+                                          think_time_us=1e9)
+    original_handle = proxy._handle
+    dropped = []
+
+    def drop_first_invite(dgram):
+        msg = parse_message(dgram.payload)
+        if msg.is_request and msg.method == "INVITE" and not dropped:
+            dropped.append(True)
+            return
+        original_handle(dgram)
+
+    proxy._handle = drop_first_invite
+    engine.run(until=1_000_000.0)
+    go.fire(None)
+    engine.run(until=2_000_000.0)
+    assert dropped
+    assert caller.calls_completed >= 1
+
+
+def test_callee_absorbs_invite_retransmission(engine):
+    proxy, go, caller, callee = make_pair(engine, think_time_us=1e9)
+    engine.run(until=1_000_000.0)
+    go.fire(None)
+    engine.run(until=1_200_000.0)
+    invites = [m for m in proxy.seen
+               if m.is_request and m.method == "INVITE"]
+    assert invites
+    # Replay the INVITE at the callee; it must not start a second call.
+    before = callee.handled_ops
+    proxy.socket.sendto(invites[0].render(), "client2", 30000)
+    engine.run(until=engine.now + 200_000.0)
+    assert callee.handled_ops == before
+
+
+def test_phone_rejects_bad_role():
+    engine = Engine()
+    __, machines = make_lan(engine, ["client1"])
+    import random
+    with pytest.raises(ValueError):
+        Phone(machines["client1"], "x", "d", 1000, "udp", "server", 5060,
+              rng=random.Random(1), role="listener")
+    with pytest.raises(ValueError):
+        Phone(machines["client1"], "x", "d", 1001, "udp", "server", 5060,
+              rng=random.Random(1), role="caller")  # no peer
+
+
+def test_stop_kills_processes(engine):
+    proxy, go, caller, callee = make_pair(engine)
+    engine.run(until=500_000.0)
+    caller.stop()
+    assert all(not proc.alive for proc in caller.processes)

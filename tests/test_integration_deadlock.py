@@ -1,0 +1,66 @@
+"""The §6 deadlock, reproduced in the full TCP architecture.
+
+"When a worker process requests a connection from the supervisor process,
+it then blocks waiting to receive that file descriptor.  If, at the same
+time, the supervisor process blocks waiting to send a new connection to
+the same worker (since the buffer at the receiver is full), the two
+processes will deadlock.  Once the supervisor process deadlocks, no other
+worker can make progress either."
+"""
+
+import pytest
+
+from repro import ProxyConfig, Testbed, Workload, build_proxy
+from repro.clients import BenchmarkManager
+
+
+def build(bed, blocking_send, ipc_capacity, workers=2):
+    return build_proxy(bed.server, ProxyConfig(
+        transport="tcp", workers=workers,
+        ipc_capacity=ipc_capacity,
+        supervisor_blocking_send=blocking_send)).start()
+
+
+def attempt_run(blocking_send, ipc_capacity, seed=11):
+    bed = Testbed(seed=seed)
+    proxy = build(bed, blocking_send, ipc_capacity)
+    workload = Workload(clients=12, ops_per_conn=2,
+                        warmup_us=50_000.0, measure_us=400_000.0,
+                        register_deadline_us=3_000_000.0)
+    manager = BenchmarkManager(bed, proxy, workload)
+    manager.setup_phones()
+    try:
+        result = manager.run()
+        ops = result.ops
+    except RuntimeError:
+        # Registration never completed: the server wedged early.
+        ops = 0
+    return bed, proxy, ops
+
+
+def supervisor_wedged(proxy):
+    return any(chan.a.blocked_sending_since is not None
+               for chan in proxy.assign_chans)
+
+
+def test_tiny_buffers_with_blocking_sends_deadlock():
+    bed, proxy, ops = attempt_run(blocking_send=True, ipc_capacity=1)
+    # Let plenty of time pass; a healthy server would be making progress.
+    bed.engine.run(until=bed.engine.now + 2_000_000.0)
+    assert supervisor_wedged(proxy)
+    blocked_worker = any(chan.a.blocked_receiving_since is not None
+                         for chan in proxy.req_chans)
+    assert blocked_worker
+
+
+def test_ample_buffers_do_not_deadlock():
+    bed, proxy, ops = attempt_run(blocking_send=True, ipc_capacity=256)
+    assert ops > 0
+    assert not supervisor_wedged(proxy)
+
+
+def test_nonblocking_supervisor_survives_tiny_buffers():
+    """The defensive alternative: shed assignments instead of blocking."""
+    bed, proxy, ops = attempt_run(blocking_send=False, ipc_capacity=1)
+    bed.engine.run(until=bed.engine.now + 1_000_000.0)
+    assert not supervisor_wedged(proxy)

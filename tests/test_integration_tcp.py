@@ -1,0 +1,114 @@
+"""End-to-end tests: TCP architecture (Fig. 1) and the §5 fixes."""
+
+import pytest
+
+from repro import ProxyConfig, Testbed, Workload, build_proxy
+from repro.clients import BenchmarkManager
+
+SMALL = dict(warmup_us=30_000.0, measure_us=100_000.0)
+
+
+def run_tcp(clients=5, workers=4, seed=1, workload_extra=None, **config):
+    bed = Testbed(seed=seed)
+    proxy = build_proxy(bed.server, ProxyConfig(
+        transport="tcp", workers=workers, **config)).start()
+    wl = dict(SMALL)
+    wl.update(workload_extra or {})
+    result = BenchmarkManager(bed, proxy, Workload(clients=clients, **wl)).run()
+    return bed, proxy, result
+
+
+def test_calls_complete_over_tcp():
+    __, proxy, result = run_tcp()
+    assert result.ops > 30
+    assert result.calls_failed == 0
+    assert proxy.stats.accepts == 10  # 5 callers + 5 callees connected
+    assert proxy.stats.parse_errors == 0
+
+
+def test_fd_requests_flow_through_supervisor():
+    __, proxy, result = run_tcp(fd_cache=False)
+    # Every cross-connection forward needs a descriptor round trip.
+    assert proxy.stats.fd_requests > result.ops
+
+
+def test_fd_cache_eliminates_most_ipc():
+    __, base_proxy, base = run_tcp(fd_cache=False, seed=5)
+    __, cached_proxy, cached = run_tcp(fd_cache=True, seed=5)
+    assert cached_proxy.stats.fd_requests < base_proxy.stats.fd_requests / 5
+    assert cached_proxy.stats.fd_cache_hits > 0
+    # And the throughput improves (Fig. 4).
+    assert cached.throughput_ops_s > base.throughput_ops_s
+
+
+def test_supervisor_at_nice0_is_slower():
+    """§4.3: without the priority elevation the supervisor starves."""
+    __, __, elevated = run_tcp(supervisor_nice=-20, workers=8, clients=10,
+                               seed=7)
+    __, __, starved = run_tcp(supervisor_nice=0, workers=8, clients=10,
+                              seed=7)
+    assert starved.throughput_ops_s < elevated.throughput_ops_s
+
+
+def test_tcp_slower_than_udp_baseline():
+    from test_integration_udp import run_cell
+    __, __, udp = run_cell(clients=10, workers=4)
+    __, __, tcp = run_tcp(clients=10, workers=4)
+    assert tcp.throughput_ops_s < udp.throughput_ops_s
+
+
+def test_nonpersistent_connections_reconnect_and_relias():
+    __, proxy, result = run_tcp(
+        clients=5, workload_extra=dict(ops_per_conn=10,
+                                       measure_us=300_000.0))
+    # Phones opened fresh connections beyond the initial ten.
+    assert proxy.stats.accepts > 10
+    assert result.ops > 50
+    # Calls continued to complete across reconnects.
+    assert result.calls_failed <= result.calls_completed * 0.1 + 2
+
+
+def test_idle_scan_examines_whole_population():
+    __, proxy, __ = run_tcp(idle_strategy="scan")
+    assert proxy.stats.idle_scans > 0
+    assert proxy.stats.idle_scan_entries_examined >= \
+        proxy.stats.idle_scans  # every pass touches every live conn
+
+
+def test_pq_touches_less_than_scan_under_churn():
+    extra = dict(ops_per_conn=10, measure_us=300_000.0)
+    __, scan_proxy, __ = run_tcp(idle_strategy="scan", seed=9,
+                                 workload_extra=extra)
+    __, pq_proxy, __ = run_tcp(idle_strategy="pq", seed=9,
+                               workload_extra=extra)
+    assert pq_proxy.stats.pq_operations < \
+        scan_proxy.stats.idle_scan_entries_examined
+
+
+def test_abandoned_connections_eventually_destroyed():
+    bed = Testbed(seed=1)
+    proxy = build_proxy(bed.server, ProxyConfig(
+        transport="tcp", workers=4, idle_timeout_us=100_000.0)).start()
+    manager = BenchmarkManager(bed, proxy, Workload(
+        clients=4, ops_per_conn=6, warmup_us=30_000.0,
+        measure_us=400_000.0))
+    manager.run()
+    manager.stop()  # silence the phones so the backlog can drain
+    # Releases now only happen on worker ticks (1 s): let a few elapse
+    # so the two-phase teardown (§3.1) runs to completion.
+    bed.engine.run(until=bed.engine.now + 3_000_000.0)
+    assert proxy.stats.conns_released_by_worker > 0
+    assert proxy.stats.conns_closed_idle > 0
+    # The abandoned population drains to (at most) the live conns.
+    assert len(proxy.conn_table) <= 8 + 4
+
+
+def test_supervisor_counts_match_workers():
+    __, proxy, __ = run_tcp()
+    stats = proxy.stats
+    assert stats.conns_created == stats.accepts + stats.outbound_connects
+
+
+def test_worker_counts_exceeding_connections_is_fine():
+    __, __, result = run_tcp(clients=2, workers=16)
+    assert result.ops > 10

@@ -1,0 +1,115 @@
+"""Unit tests for the epoll-like poller."""
+
+from repro.sim.engine import Engine
+from repro.sim.primitives import Compute
+from repro.sim.process import SimProcess
+from repro.kernel.ipc import IpcChannel, IpcMessage
+from repro.kernel.poller import Poller
+from repro.kernel.sockets import DatagramBuffer
+
+from conftest import run_until_done
+
+
+def test_wait_returns_ready_source_immediately(engine):
+    poller = Poller(engine)
+    buf = DatagramBuffer(engine, capacity=4)
+    poller.add(buf)
+    buf.push("x")
+
+    def body():
+        ready = yield from poller.wait()
+        return ready
+
+    proc = SimProcess(engine, body(), "p").start()
+    run_until_done(engine, [proc])
+    assert proc.result == [buf]
+
+
+def test_wait_blocks_until_data_arrives(engine):
+    poller = Poller(engine)
+    buf = DatagramBuffer(engine, capacity=4)
+    poller.add(buf)
+    woke_at = []
+
+    def body():
+        ready = yield from poller.wait()
+        woke_at.append(engine.now)
+        return ready
+
+    proc = SimProcess(engine, body(), "p").start()
+    engine.schedule(250.0, buf.push, "late")
+    run_until_done(engine, [proc])
+    assert woke_at == [250.0]
+    assert proc.result == [buf]
+
+
+def test_wait_over_multiple_sources(engine):
+    poller = Poller(engine)
+    chan = IpcChannel(engine, capacity=4)
+    buf = DatagramBuffer(engine, capacity=4)
+    poller.add(chan.b)
+    poller.add(buf)
+
+    def body():
+        ready = yield from poller.wait()
+        return ready
+
+    proc = SimProcess(engine, body(), "p").start()
+    engine.schedule(10.0, chan.a.try_send, IpcMessage("hi"))
+    run_until_done(engine, [proc])
+    assert proc.result == [chan.b]
+
+
+def test_wait_timeout_returns_empty(engine):
+    poller = Poller(engine)
+    buf = DatagramBuffer(engine, capacity=4)
+    poller.add(buf)
+
+    def body():
+        ready = yield from poller.wait(timeout_us=100.0)
+        return (ready, engine.now)
+
+    proc = SimProcess(engine, body(), "p").start()
+    run_until_done(engine, [proc])
+    ready, when = proc.result
+    assert ready == []
+    assert when == 100.0
+
+
+def test_stale_wakeups_are_harmless(engine):
+    """A source that fires while nobody is waiting must not corrupt a later
+    wait round."""
+    poller = Poller(engine)
+    buf = DatagramBuffer(engine, capacity=4)
+    poller.add(buf)
+    results = []
+
+    def body():
+        ready = yield from poller.wait()
+        results.append(list(ready))
+        buf.pop()
+        ready = yield from poller.wait()
+        results.append(list(ready))
+
+    proc = SimProcess(engine, body(), "p").start()
+    engine.schedule(10.0, buf.push, "a")
+    engine.schedule(20.0, buf.push, "b")
+    run_until_done(engine, [proc])
+    assert results == [[buf], [buf]]
+
+
+def test_remove_source(engine):
+    poller = Poller(engine)
+    buf = DatagramBuffer(engine, capacity=4)
+    poller.add(buf)
+    poller.remove(buf)
+    buf.push("x")
+    assert poller.ready() == []
+
+
+def test_add_is_idempotent(engine):
+    poller = Poller(engine)
+    buf = DatagramBuffer(engine, capacity=4)
+    poller.add(buf)
+    poller.add(buf)
+    assert len(poller.sources) == 1

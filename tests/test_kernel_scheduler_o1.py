@@ -1,0 +1,81 @@
+"""Unit tests for the O(1)-scheduler interactivity model (§4.3)."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.primitives import Compute, Sleep
+from repro.kernel.scheduler import Scheduler
+
+from conftest import run_until_done
+
+
+def make_sched(engine, cores=1, o1=True, timeslice=50_000.0, park=100_000.0):
+    return Scheduler(engine, n_cores=cores, ctx_switch_us=0.0,
+                     o1_model=o1, o1_timeslice_us=timeslice,
+                     o1_park_us=park)
+
+
+def cpu_hog(rounds=20, burst=20_000.0, nap=100.0):
+    def body():
+        for __ in range(rounds):
+            yield Compute(burst, "work")
+            yield Sleep(nap)
+    return body()
+
+
+def interactive(rounds=50, burst=1_000.0, nap=9_000.0):
+    def body():
+        for __ in range(rounds):
+            yield Compute(burst, "light")
+            yield Sleep(nap)
+    return body()
+
+
+def test_cpu_hog_gets_parked(engine):
+    sched = make_sched(engine)
+    proc = sched.spawn(cpu_hog(), "hog", nice=0).start()
+    run_until_done(engine, [proc])
+    assert proc.epochs_parked > 0
+    # Parking stretches wall time beyond pure CPU time.
+    assert engine.now > proc.cpu_us * 1.1
+
+
+def test_interactive_task_never_parked(engine):
+    sched = make_sched(engine)
+    proc = sched.spawn(interactive(), "light", nice=0).start()
+    run_until_done(engine, [proc])
+    assert proc.epochs_parked == 0
+
+
+def test_negative_nice_exempt(engine):
+    sched = make_sched(engine)
+    proc = sched.spawn(cpu_hog(), "hog", nice=-20).start()
+    run_until_done(engine, [proc])
+    assert proc.epochs_parked == 0
+    assert engine.now == pytest.approx(proc.cpu_us + 20 * 100.0, rel=0.01)
+
+
+def test_o1_model_can_be_disabled(engine):
+    sched = make_sched(engine, o1=False)
+    proc = sched.spawn(cpu_hog(), "hog", nice=0).start()
+    run_until_done(engine, [proc])
+    assert proc.epochs_parked == 0
+
+
+def test_parked_task_resumes_and_finishes(engine):
+    sched = make_sched(engine, timeslice=10_000.0, park=20_000.0)
+    proc = sched.spawn(cpu_hog(rounds=5, burst=15_000.0), "hog").start()
+    run_until_done(engine, [proc])
+    assert proc.epochs_parked >= 2
+    assert proc.cpu_us == pytest.approx(75_000.0)
+
+
+def test_parking_leaves_cores_idle_despite_ready_work(engine):
+    """The §4.3 signature: the machine idles while the parked task has
+    work — the paper's 'multiple processors being idle'."""
+    sched = make_sched(engine, cores=2, timeslice=10_000.0, park=50_000.0)
+    proc = sched.spawn(cpu_hog(rounds=4, burst=20_000.0), "hog").start()
+    run_until_done(engine, [proc])
+    busy = sched.total_busy_us()
+    # Lots of wall time with idle cores.
+    assert engine.now > busy / 2 * 1.5

@@ -1,0 +1,179 @@
+"""Unit tests for the smaller supporting pieces: timers, tick sources,
+machine, stats, config, rng."""
+
+import pytest
+
+from repro.kernel.machine import Machine
+from repro.kernel.poller import TickSource
+from repro.kernel.timerwheel import PeriodicTimer, Timer
+from repro.proxy.config import ProxyConfig
+from repro.proxy.costs import CostModel
+from repro.proxy.stats import ProxyStats
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+
+
+class TestTimer:
+    def test_fires_once(self, engine):
+        fired = []
+        timer = Timer(engine, fired.append, "x")
+        timer.start(100.0)
+        engine.run()
+        assert fired == ["x"]
+        assert not timer.active
+
+    def test_cancel(self, engine):
+        fired = []
+        timer = Timer(engine, fired.append, "x")
+        timer.start(100.0)
+        timer.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_restart_reschedules(self, engine):
+        fired = []
+        timer = Timer(engine, lambda: fired.append(engine.now))
+        timer.start(100.0)
+        timer.start(500.0)  # restart supersedes
+        engine.run()
+        assert fired == [500.0]
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly_until_stopped(self, engine):
+        fired = []
+        timer = PeriodicTimer(engine, 100.0, lambda: fired.append(engine.now))
+        timer.start()
+        engine.schedule(350.0, timer.stop)
+        engine.run(until=1000.0)
+        assert fired == [100.0, 200.0, 300.0]
+
+    def test_bad_period_rejected(self, engine):
+        with pytest.raises(ValueError):
+            PeriodicTimer(engine, 0.0, lambda: None)
+
+
+class TestTickSource:
+    def test_becomes_readable_each_period(self, engine):
+        tick = TickSource(engine, 1000.0)
+        assert not tick.readable()
+        engine.run(until=1500.0)
+        assert tick.readable()
+        tick.consume()
+        assert not tick.readable()
+        engine.run(until=2500.0)
+        assert tick.readable()
+
+    def test_signal_fires_on_tick(self, engine):
+        tick = TickSource(engine, 1000.0)
+        woken = []
+        tick.readable_signal.listen(lambda v: woken.append(engine.now))
+        engine.run(until=2500.0)
+        assert woken == [1000.0, 2000.0]
+
+    def test_bad_period_rejected(self, engine):
+        with pytest.raises(ValueError):
+            TickSource(engine, 0.0)
+
+
+class TestMachine:
+    def test_spawn_attaches_fdtable(self, engine):
+        machine = Machine(engine, "m", fd_limit=7)
+
+        def body():
+            yield from ()
+
+        proc = machine.spawn(body(), "p")
+        assert proc.fdtable is not None
+        assert proc.fdtable.limit == 7
+        assert proc.name == "m/p"
+
+    def test_cpu_utilization_window(self, engine):
+        from repro.sim.primitives import Compute
+        machine = Machine(engine, "m", n_cores=2)
+
+        def body():
+            yield Compute(500.0, "w")
+
+        machine.spawn(body(), "p").start()
+        busy0 = machine.scheduler.total_busy_us()
+        engine.run(until=1000.0)
+        # 500us busy on 2 cores over 1000us = 25% (+ context switch).
+        util = machine.cpu_utilization(busy0, 1000.0)
+        assert util == pytest.approx(0.25, abs=0.01)
+
+
+class TestProxyStats:
+    def test_snapshot_delta(self):
+        stats = ProxyStats()
+        stats.messages_received = 10
+        snap = stats.snapshot()
+        stats.messages_received = 25
+        stats.accepts = 3
+        delta = stats.delta(snap)
+        assert delta["messages_received"] == 15
+        assert delta["accepts"] == 3
+
+    def test_fd_cache_hit_rate(self):
+        stats = ProxyStats()
+        assert stats.fd_cache_hit_rate is None
+        stats.fd_cache_hits = 3
+        stats.fd_cache_misses = 1
+        assert stats.fd_cache_hit_rate == pytest.approx(0.75)
+
+
+class TestProxyConfig:
+    def test_defaults_validate(self):
+        ProxyConfig().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(transport="smoke-signals"),
+        dict(idle_strategy="forget"),
+        dict(workers=0),
+        dict(supervisor_nice=-30),
+        dict(idle_timeout_us=0),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ProxyConfig(**kwargs).validate()
+
+    def test_reliability_classification(self):
+        assert not ProxyConfig(transport="udp").reliable_transport
+        assert ProxyConfig(transport="tcp").reliable_transport
+        assert ProxyConfig(transport="sctp").reliable_transport
+        assert ProxyConfig(transport="tcp-threaded").reliable_transport
+
+
+class TestCostModel:
+    def test_parse_cost_grows_with_size_and_phones(self):
+        costs = CostModel()
+        assert costs.parse_cost(800) > costs.parse_cost(200)
+        assert costs.parse_cost(500, registered_phones=2000) > \
+            costs.parse_cost(500, registered_phones=0)
+
+    def test_scaled(self):
+        costs = CostModel()
+        doubled = costs.scaled(2.0)
+        assert doubled.parse_msg_us == pytest.approx(2 * costs.parse_msg_us)
+        assert doubled.tcp_send_us == pytest.approx(2 * costs.tcp_send_us)
+
+    def test_fd_request_cost_grows_with_table(self):
+        costs = CostModel()
+        assert costs.fd_request_cost(2000) > costs.fd_request_cost(0)
+
+
+class TestRngStreams:
+    def test_streams_independent_and_deterministic(self):
+        a = RngStreams(1)
+        b = RngStreams(1)
+        assert a.stream("x").random() == b.stream("x").random()
+        c = RngStreams(1)
+        assert c.stream("x").random() != c.stream("y").random()
+
+    def test_different_seeds_differ(self):
+        assert RngStreams(1).stream("x").random() != \
+            RngStreams(2).stream("x").random()
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(1)
+        assert streams.stream("x") is streams.stream("x")

@@ -1,0 +1,73 @@
+"""Unit tests for the LAN fabric."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.net.fabric import Fabric
+
+from conftest import make_lan
+
+
+def test_delivery_after_latency_plus_serialization(engine):
+    fabric, __ = make_lan(engine, ["a", "b"], latency_us=50.0)
+    arrived = []
+    fabric.deliver("a", "b", 125, arrived.append, engine)
+    engine.run()
+    # 125 bytes at 125 B/us = 1us serialization + 50us latency.
+    assert engine.now == pytest.approx(51.0)
+    assert arrived == [engine]
+
+
+def test_egress_serialization_queues_packets(engine):
+    fabric, __ = make_lan(engine, ["a", "b"], latency_us=0.0)
+    times = []
+    for __ in range(3):
+        fabric.deliver("a", "b", 1250, lambda: times.append(engine.now))
+    engine.run()
+    # Each 1250B packet takes 10us on the wire; they serialize.
+    assert times == [pytest.approx(10.0), pytest.approx(20.0),
+                     pytest.approx(30.0)]
+
+
+def test_different_senders_do_not_serialize(engine):
+    fabric, __ = make_lan(engine, ["a", "b", "c"], latency_us=0.0)
+    times = []
+    fabric.deliver("a", "c", 1250, lambda: times.append(("a", engine.now)))
+    fabric.deliver("b", "c", 1250, lambda: times.append(("b", engine.now)))
+    engine.run()
+    assert dict(times) == {"a": pytest.approx(10.0), "b": pytest.approx(10.0)}
+
+
+def test_unknown_destination_raises(engine):
+    fabric, __ = make_lan(engine, ["a"])
+    with pytest.raises(KeyError):
+        fabric.deliver("a", "nowhere", 100, lambda: None)
+
+
+def test_duplicate_machine_name_rejected(engine):
+    fabric, machines = make_lan(engine, ["a"])
+    with pytest.raises(ValueError):
+        fabric.attach(machines["a"])
+
+
+def test_loss_rate_drops_packets(engine):
+    rng = RngStreams(seed=7).stream("net")
+    fabric = Fabric(engine, latency_us=0.0, loss_rate=0.5, rng=rng)
+    from repro.kernel.machine import Machine
+    for name in ("a", "b"):
+        fabric.attach(Machine(engine, name))
+    delivered = []
+    for __ in range(200):
+        fabric.deliver("a", "b", 100, delivered.append, 1)
+    engine.run()
+    assert fabric.packets_lost > 50
+    assert len(delivered) == 200 - fabric.packets_lost
+
+
+def test_statistics(engine):
+    fabric, __ = make_lan(engine, ["a", "b"])
+    fabric.deliver("a", "b", 100, lambda: None)
+    fabric.deliver("a", "b", 200, lambda: None)
+    assert fabric.packets_sent == 2
+    assert fabric.bytes_sent == 300

@@ -1,0 +1,123 @@
+"""Unit tests for the SCTP transport."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.net.sctp import SctpEndpoint
+
+from conftest import make_lan, run_until_done
+
+
+def test_connect_establishes_association(engine):
+    __, machines = make_lan(engine, ["client", "server"])
+    SctpEndpoint(machines["server"], 5060)
+    client_ep = SctpEndpoint(machines["client"], 40000)
+    results = {}
+
+    def client():
+        assoc = yield from client_ep.connect("server", 5060)
+        results["assoc"] = assoc
+        results["at"] = engine.now
+
+    proc = machines["client"].spawn_light(client(), "c").start()
+    run_until_done(engine, [proc])
+    assert results["assoc"].established
+    assert results["at"] >= 100.0  # one round trip
+
+
+def test_message_boundaries_preserved(engine):
+    __, machines = make_lan(engine, ["client", "server"])
+    server_ep = SctpEndpoint(machines["server"], 5060)
+    client_ep = SctpEndpoint(machines["client"], 40000)
+    got = []
+
+    def client():
+        assoc = yield from client_ep.connect("server", 5060)
+        client_ep.sendmsg(assoc, "first message")
+        client_ep.sendmsg(assoc, "second message")
+
+    def server():
+        for __ in range(2):
+            assoc, payload = yield from server_ep.recvmsg()
+            got.append(payload)
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+    assert got == ["first message", "second message"]
+
+
+def test_server_can_reply_over_same_association(engine):
+    __, machines = make_lan(engine, ["client", "server"])
+    server_ep = SctpEndpoint(machines["server"], 5060)
+    client_ep = SctpEndpoint(machines["client"], 40000)
+    got = []
+
+    def client():
+        assoc = yield from client_ep.connect("server", 5060)
+        client_ep.sendmsg(assoc, "ping")
+        __, payload = yield from client_ep.recvmsg()
+        got.append(payload)
+
+    def server():
+        assoc, payload = yield from server_ep.recvmsg()
+        server_ep.sendmsg(assoc, "pong:" + payload)
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+    assert got == ["pong:ping"]
+
+
+def test_associations_are_reused(engine):
+    __, machines = make_lan(engine, ["client", "server"])
+    server_ep = SctpEndpoint(machines["server"], 5060)
+    client_ep = SctpEndpoint(machines["client"], 40000)
+
+    def client():
+        assoc1 = yield from client_ep.connect("server", 5060)
+        assoc2 = yield from client_ep.connect("server", 5060)
+        assert assoc1 is assoc2
+
+    proc = machines["client"].spawn_light(client(), "c").start()
+    run_until_done(engine, [proc])
+    assert len(client_ep.associations) == 1
+
+
+def test_multiple_workers_share_one_socket(engine):
+    """The §6 point: SCTP lets symmetric workers receive like UDP."""
+    __, machines = make_lan(engine, ["client", "server"])
+    server_ep = SctpEndpoint(machines["server"], 5060)
+    client_ep = SctpEndpoint(machines["client"], 40000)
+    got = []
+
+    def worker(tag):
+        assoc, payload = yield from server_ep.recvmsg()
+        got.append((tag, payload))
+
+    def client():
+        assoc = yield from client_ep.connect("server", 5060)
+        for i in range(3):
+            client_ep.sendmsg(assoc, f"m{i}")
+
+    procs = [machines["server"].spawn_light(worker(i), f"w{i}").start()
+             for i in range(3)]
+    procs.append(machines["client"].spawn_light(client(), "c").start())
+    run_until_done(engine, procs)
+    assert sorted(payload for __, payload in got) == ["m0", "m1", "m2"]
+    assert len({tag for tag, __ in got}) == 3
+
+
+def test_sendmsg_without_association_raises(engine):
+    __, machines = make_lan(engine, ["client", "server"])
+    client_ep = SctpEndpoint(machines["client"], 40000)
+    assoc = client_ep.association_to("server", 5060)
+    with pytest.raises(OSError):
+        client_ep.sendmsg(assoc, "too early")
+
+
+def test_double_bind_rejected(engine):
+    __, machines = make_lan(engine, ["server"])
+    SctpEndpoint(machines["server"], 5060)
+    with pytest.raises(OSError):
+        SctpEndpoint(machines["server"], 5060)

@@ -1,0 +1,315 @@
+"""Unit tests for the TCP transport."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from repro.kernel.sockets import PortExhaustedError
+from repro.net.tcp import (
+    ConnectionRefusedError_,
+    ConnectionResetError_,
+    TcpListener,
+    TcpState,
+    connect,
+)
+
+from conftest import make_lan, run_until_done
+
+
+def lan(engine, **kwargs):
+    return make_lan(engine, ["client", "server"], **kwargs)
+
+
+def test_connect_accept_roundtrip(engine):
+    __, machines = lan(engine, latency_us=50.0)
+    listener = TcpListener(machines["server"], 5060)
+    results = {}
+
+    def client():
+        conn = yield from connect(machines["client"], "server", 5060)
+        results["client_conn"] = conn
+        results["connected_at"] = engine.now
+
+    def server():
+        conn = yield from listener.accept()
+        results["server_conn"] = conn
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+    assert results["client_conn"].state is TcpState.ESTABLISHED
+    assert results["server_conn"].peer is results["client_conn"]
+    # Handshake needs a round trip (~100us at 50us one-way).
+    assert results["connected_at"] >= 100.0
+
+
+def test_bytestream_send_recv(engine):
+    __, machines = lan(engine)
+    listener = TcpListener(machines["server"], 5060)
+    got = []
+
+    def client():
+        conn = yield from connect(machines["client"], "server", 5060)
+        yield from conn.send("hello ")
+        yield from conn.send("world")
+
+    def server():
+        conn = yield from listener.accept()
+        data = ""
+        while len(data) < 11:
+            data += yield from conn.recv()
+        got.append(data)
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+    assert got == ["hello world"]
+
+
+def test_large_send_is_segmented_but_in_order(engine):
+    __, machines = lan(engine)
+    listener = TcpListener(machines["server"], 5060)
+    payload = "x" * 5000 + "END"
+    got = []
+
+    def client():
+        conn = yield from connect(machines["client"], "server", 5060)
+        yield from conn.send(payload)
+
+    def server():
+        conn = yield from listener.accept()
+        data = ""
+        while len(data) < len(payload):
+            data += yield from conn.recv()
+        got.append(data)
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+    assert got == [payload]
+
+
+def test_connect_refused_without_listener(engine):
+    __, machines = lan(engine)
+    errors = []
+
+    def client():
+        try:
+            yield from connect(machines["client"], "server", 5060)
+        except ConnectionRefusedError_ as exc:
+            errors.append(exc)
+
+    proc = machines["client"].spawn_light(client(), "c").start()
+    run_until_done(engine, [proc])
+    assert len(errors) == 1
+    # The ephemeral port went straight back to the pool.
+    assert machines["client"].tcp_ports.available == \
+        machines["client"].tcp_ports.hi - machines["client"].tcp_ports.lo
+
+
+def test_backlog_full_refuses(engine):
+    __, machines = lan(engine)
+    TcpListener(machines["server"], 5060, backlog=1)
+    outcomes = []
+
+    def client(tag):
+        try:
+            yield from connect(machines["client"], "server", 5060)
+            outcomes.append((tag, "ok"))
+        except ConnectionRefusedError_:
+            outcomes.append((tag, "refused"))
+
+    procs = [machines["client"].spawn_light(client(i), f"c{i}").start()
+             for i in range(3)]
+    run_until_done(engine, procs)
+    counts = [outcome for __, outcome in outcomes]
+    assert counts.count("ok") == 1
+    assert counts.count("refused") == 2
+
+
+def test_flow_control_blocks_sender(engine):
+    __, machines = lan(engine)
+    listener = TcpListener(machines["server"], 5060)
+    events = []
+
+    def client():
+        conn = yield from connect(machines["client"], "server", 5060)
+        yield from conn.send("a" * 60000)
+        events.append(("sent-first", engine.now))
+        yield from conn.send("b" * 30000)  # must wait for reader
+        events.append(("sent-second", engine.now))
+
+    def server():
+        conn = yield from listener.accept()
+        # Let the first send land, then drain slowly.
+        from repro.sim.primitives import Sleep
+        yield Sleep(10_000.0)
+        drained = 0
+        while drained < 90000:
+            data = yield from conn.recv(65536)
+            drained += len(data)
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+    times = dict(events)
+    assert times["sent-second"] >= 10_000.0  # blocked until the drain began
+
+
+def test_close_delivers_eof(engine):
+    __, machines = lan(engine)
+    listener = TcpListener(machines["server"], 5060)
+    got = []
+
+    def client():
+        conn = yield from connect(machines["client"], "server", 5060)
+        yield from conn.send("bye")
+        conn.close()
+
+    def server():
+        conn = yield from listener.accept()
+        data = yield from conn.recv()
+        got.append(data)
+        eof = yield from conn.recv()
+        got.append(eof)
+        conn.close()
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+    assert got == ["bye", ""]
+
+
+def test_both_sides_closed_finalizes_and_time_waits_port(engine):
+    __, machines = lan(engine)
+    listener = TcpListener(machines["server"], 5060)
+    conns = {}
+
+    def client():
+        conn = yield from connect(machines["client"], "server", 5060)
+        conns["client"] = conn
+        conn.close()  # active closer
+
+    def server():
+        conn = yield from listener.accept()
+        conns["server"] = conn
+        eof = yield from conn.recv()
+        assert eof == ""
+        conn.close()
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+    engine.run(until=engine.now + 1000.0)
+    assert conns["client"].state is TcpState.CLOSED
+    assert conns["server"].state is TcpState.CLOSED
+    # The client initiated and closed first: its port sits in TIME_WAIT.
+    assert machines["client"].tcp_ports.in_time_wait == 1
+
+
+def test_passive_closer_port_released_immediately(engine):
+    __, machines = lan(engine)
+    listener = TcpListener(machines["server"], 5060)
+
+    def client():
+        conn = yield from connect(machines["client"], "server", 5060)
+        eof = yield from conn.recv()
+        assert eof == ""
+        conn.close()
+
+    def server():
+        conn = yield from listener.accept()
+        conn.close()  # server closes first
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+    engine.run(until=engine.now + 1000.0)
+    assert machines["client"].tcp_ports.in_time_wait == 0
+    ports = machines["client"].tcp_ports
+    assert ports.available == ports.hi - ports.lo
+
+
+def test_port_exhaustion(engine):
+    __, machines = make_lan(engine, ["client", "server"],
+                            ephemeral_ports=2)
+    TcpListener(machines["server"], 5060)
+    failures = []
+
+    def client():
+        conns = []
+        for __ in range(3):
+            try:
+                conn = yield from connect(machines["client"], "server", 5060)
+                conns.append(conn)
+            except PortExhaustedError as exc:
+                failures.append(exc)
+
+    proc = machines["client"].spawn_light(client(), "c").start()
+    run_until_done(engine, [proc])
+    assert len(failures) == 1
+
+
+def test_send_on_closed_connection_raises(engine):
+    __, machines = lan(engine)
+    listener = TcpListener(machines["server"], 5060)
+    errors = []
+
+    def client():
+        conn = yield from connect(machines["client"], "server", 5060)
+        conn.close()
+        try:
+            yield from conn.send("too late")
+        except ConnectionResetError_ as exc:
+            errors.append(exc)
+
+    def server():
+        conn = yield from listener.accept()
+        yield from conn.recv()
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+    assert len(errors) == 1
+
+
+def test_fd_refcount_drives_close(engine):
+    """Supervisor and worker both hold fds; the connection FINs only when
+    the last one closes — the paper's two-step teardown (§3.1)."""
+    from repro.kernel.fdtable import FdTable, FileDescription
+    __, machines = lan(engine)
+    listener = TcpListener(machines["server"], 5060)
+    state = {}
+
+    def client():
+        conn = yield from connect(machines["client"], "server", 5060)
+        state["client"] = conn
+
+    def server():
+        conn = yield from listener.accept()
+        state["server"] = conn
+
+    procs = [machines["client"].spawn_light(client(), "c").start(),
+             machines["server"].spawn_light(server(), "s").start()]
+    run_until_done(engine, procs)
+
+    conn = state["server"]
+    desc = FileDescription(conn, kind="tcp")
+    sup_table = FdTable(limit=16, owner="sup")
+    wrk_table = FdTable(limit=16, owner="wrk")
+    sup_fd = sup_table.install(desc)
+    wrk_fd = wrk_table.install(desc)
+
+    wrk_table.close(wrk_fd)
+    assert not conn.sent_fin
+    sup_table.close(sup_fd)
+    assert conn.sent_fin
+    engine.run(until=engine.now + 1000.0)
+    assert state["client"].received_fin
+
+
+def test_listener_double_bind_rejected(engine):
+    __, machines = lan(engine)
+    TcpListener(machines["server"], 5060)
+    with pytest.raises(OSError):
+        TcpListener(machines["server"], 5060)

@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for core data structures and
+protocol invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.fdtable import EmfileError, FdTable, FileDescription
+from repro.kernel.sockets import PortAllocator, PortExhaustedError, StreamBuffer
+from repro.sim.engine import Engine
+from repro.sip.headers import Address, CSeq, Via
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.parser import StreamFramer, parse_message
+from repro.sip.uri import SipUri
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+token = st.text(alphabet=string.ascii_lowercase + string.digits,
+                min_size=1, max_size=12)
+host = st.from_regex(r"[a-z][a-z0-9]{0,10}(\.[a-z][a-z0-9]{0,10}){0,2}",
+                     fullmatch=True)
+port = st.integers(min_value=1, max_value=65535)
+header_value = st.text(
+    alphabet=string.ascii_letters + string.digits + " .;=@:-",
+    min_size=0, max_size=40).map(str.strip)
+body_text = st.text(alphabet=string.ascii_letters + string.digits + " \n",
+                    max_size=200)
+
+
+@st.composite
+def sip_uris(draw):
+    user = draw(st.one_of(st.none(), token))
+    return SipUri(user, draw(host), draw(st.one_of(st.none(), port)))
+
+
+@st.composite
+def sip_requests(draw):
+    method = draw(st.sampled_from(["INVITE", "ACK", "BYE", "REGISTER",
+                                   "OPTIONS"]))
+    request = SipRequest(method, draw(sip_uris()), body=draw(body_text))
+    request.add("Via", Via("UDP", draw(host), draw(port),
+                           {"branch": "z9hG4bK" + draw(token)}).render())
+    request.add("From", f"<sip:{draw(token)}@{draw(host)}>;tag={draw(token)}")
+    request.add("To", f"<sip:{draw(token)}@{draw(host)}>")
+    request.add("Call-ID", draw(token))
+    request.add("CSeq", CSeq(draw(st.integers(1, 99999)), method).render())
+    for name in draw(st.lists(st.sampled_from(
+            ["Contact", "User-Agent", "Subject"]), max_size=2, unique=True)):
+        value = draw(header_value)
+        if value:
+            request.add(name, value)
+    return request
+
+
+# ---------------------------------------------------------------------------
+# SIP wire format
+# ---------------------------------------------------------------------------
+class TestSipRoundtrip:
+    @given(sip_requests())
+    @settings(max_examples=150)
+    def test_parse_render_roundtrip(self, request):
+        text = request.render()
+        parsed = parse_message(text)
+        assert parsed.render() == text
+        assert parsed.method == request.method
+        assert parsed.body == request.body
+        assert parsed.call_id == request.call_id
+
+    @given(sip_uris())
+    def test_uri_roundtrip(self, uri):
+        assert SipUri.parse(uri.render()) == uri
+
+    @given(host, port, token)
+    def test_via_roundtrip(self, h, p, branch):
+        via = Via("TCP", h, p, {"branch": "z9hG4bK" + branch})
+        parsed = Via.parse(via.render())
+        assert (parsed.host, parsed.port, parsed.branch) == \
+            (h, p, "z9hG4bK" + branch)
+
+    @given(st.integers(1, 999999), st.sampled_from(["INVITE", "BYE", "ACK"]))
+    def test_cseq_roundtrip(self, number, method):
+        assert CSeq.parse(CSeq(number, method).render()) == \
+            CSeq(number, method)
+
+
+class TestFramerProperties:
+    @given(st.lists(sip_requests(), min_size=1, max_size=5),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_any_chunking_preserves_messages(self, requests, chunk_size):
+        """Feeding a concatenated stream in arbitrary chunks must yield
+        exactly the original messages, in order."""
+        stream = "".join(req.render() for req in requests)
+        framer = StreamFramer()
+        out = []
+        for start in range(0, len(stream), chunk_size):
+            out.extend(framer.feed(stream[start:start + chunk_size]))
+        assert out == [req.render() for req in requests]
+        assert framer.buffered_bytes == 0
+
+    @given(st.lists(sip_requests(), min_size=2, max_size=4),
+           st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_random_split_points(self, requests, rnd):
+        stream = "".join(req.render() for req in requests)
+        framer = StreamFramer()
+        out = []
+        position = 0
+        while position < len(stream):
+            step = rnd.randint(1, max(1, len(stream) // 3))
+            out.extend(framer.feed(stream[position:position + step]))
+            position += step
+        assert out == [req.render() for req in requests]
+
+
+# ---------------------------------------------------------------------------
+# kernel data structures
+# ---------------------------------------------------------------------------
+class TestFdTableProperties:
+    @given(st.lists(st.sampled_from(["install", "close"]), max_size=60))
+    def test_refcounts_never_negative_and_slots_consistent(self, ops):
+        table = FdTable(limit=16)
+        open_fds = []
+        for op in ops:
+            if op == "install":
+                try:
+                    fd = table.install(FileDescription(object(), "f"))
+                    open_fds.append(fd)
+                except EmfileError:
+                    assert len(table) == 16
+            elif open_fds:
+                fd = open_fds.pop()
+                table.close(fd)
+        assert len(table) == len(open_fds)
+        assert len(set(open_fds)) == len(open_fds)  # no fd aliasing
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_limit_is_exact(self, limit):
+        table = FdTable(limit=limit)
+        for __ in range(limit):
+            table.install(FileDescription(object(), "f"))
+        try:
+            table.install(FileDescription(object(), "f"))
+            assert False, "limit not enforced"
+        except EmfileError:
+            pass
+
+
+class TestPortAllocatorProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=80))
+    def test_no_port_ever_double_allocated(self, frees):
+        engine = Engine()
+        ports = PortAllocator(engine, lo=100, hi=140, time_wait_us=0.0)
+        live = set()
+        for do_free in frees:
+            if do_free and live:
+                victim = live.pop()
+                ports.release(victim, time_wait=False)
+            else:
+                try:
+                    p = ports.allocate()
+                except PortExhaustedError:
+                    assert len(live) == 40
+                    continue
+                assert p not in live
+                live.add(p)
+
+
+class TestStreamBufferProperties:
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=30),
+                    max_size=20),
+           st.integers(min_value=1, max_value=17))
+    def test_bytes_in_equals_bytes_out_in_order(self, chunks, read_size):
+        engine = Engine()
+        buf = StreamBuffer(engine, capacity_bytes=1 << 20)
+        for chunk in chunks:
+            buf.push(chunk)
+        out = []
+        while buf.size:
+            out.append(buf.read(read_size))
+        assert "".join(out) == "".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# engine ordering
+# ---------------------------------------------------------------------------
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            engine.schedule(delay, lambda d=delay: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=2,
+                    max_size=30))
+    def test_same_time_fifo(self, tags):
+        engine = Engine()
+        fired = []
+        for tag in tags:
+            engine.schedule(5.0, fired.append, tag)
+        engine.run()
+        assert fired == tags

@@ -1,0 +1,134 @@
+"""Unit tests for the shared connection table and fd cache."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.kernel.fdtable import FdTable, FileDescription
+from repro.proxy.conn_table import ConnTable
+from repro.proxy.costs import CostModel
+from repro.proxy.fd_cache import FdCache
+
+from conftest import drive
+
+
+class FakeConn:
+    def __init__(self):
+        self.closed = False
+
+    def on_last_close(self):
+        self.closed = True
+
+
+def insert_record(engine, table, owner=0, now=0.0):
+    conn = FakeConn()
+    desc = FileDescription(conn, "tcp-conn")
+    return drive(engine, table.insert(conn, desc, owner, now))
+
+
+@pytest.fixture
+def table():
+    return ConnTable(CostModel())
+
+
+class TestConnTable:
+    def test_insert_assigns_ids(self, engine, table):
+        r1 = insert_record(engine, table)
+        r2 = insert_record(engine, table)
+        assert r1.conn_id != r2.conn_id
+        assert len(table) == 2
+
+    def test_alias_lookup(self, engine, table):
+        record = insert_record(engine, table)
+        drive(engine, table.set_alias(record, ("client1", 40000)))
+        found = drive(engine, table.lookup_alias(("client1", 40000)))
+        assert found is record
+
+    def test_alias_rebind_moves_to_new_record(self, engine, table):
+        old = insert_record(engine, table)
+        new = insert_record(engine, table)
+        drive(engine, table.set_alias(old, ("client1", 40000)))
+        drive(engine, table.set_alias(new, ("client1", 40000)))
+        assert drive(engine, table.lookup_alias(("client1", 40000))) is new
+
+    def test_released_record_not_returned_by_alias(self, engine, table):
+        record = insert_record(engine, table)
+        drive(engine, table.set_alias(record, ("client1", 40000)))
+        record.released = True
+        assert drive(engine, table.lookup_alias(("client1", 40000))) is None
+
+    def test_remove_marks_closed_and_unaliases(self, engine, table):
+        record = insert_record(engine, table)
+        drive(engine, table.set_alias(record, ("client1", 40000)))
+        drive(engine, table.remove(record))
+        assert record.closed
+        assert len(table) == 0
+        assert drive(engine, table.lookup_alias(("client1", 40000))) is None
+
+    def test_idle_deadline_uses_release_time_when_released(self, engine, table):
+        record = insert_record(engine, table, now=0.0)
+        record.last_activity = 100.0
+        assert record.idle_deadline(50.0) == 150.0
+        record.released = True
+        record.released_at = 400.0
+        assert record.idle_deadline(50.0) == 450.0
+
+
+class TestFdCache:
+    def make(self):
+        table = FdTable(limit=32, owner="w")
+        return FdCache(table, "w"), table
+
+    def record(self, engine, conn_table):
+        return insert_record(engine, conn_table)
+
+    def test_miss_then_hit(self, engine, table):
+        cache, fdtable = self.make()
+        record = self.record(engine, table)
+        assert cache.probe(record) is None
+        fd = fdtable.install(record.desc)
+        cache.store(record, fd)
+        assert cache.probe(record) == fd
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_probe_of_released_conn_evicts(self, engine, table):
+        cache, fdtable = self.make()
+        record = self.record(engine, table)
+        fd = fdtable.install(record.desc)
+        cache.store(record, fd)
+        record.released = True
+        assert cache.probe(record) is None
+        assert len(cache) == 0
+        assert fd not in fdtable  # the cached fd was closed
+
+    def test_evict_dead_closes_fds(self, engine, table):
+        cache, fdtable = self.make()
+        records = [self.record(engine, table) for __ in range(3)]
+        for record in records:
+            cache.store(record, fdtable.install(record.desc))
+        records[0].closed = True
+        records[1].released = True
+        assert cache.evict_dead() == 2
+        assert len(cache) == 1
+
+    def test_cached_fd_pins_description(self, engine, table):
+        cache, fdtable = self.make()
+        record = self.record(engine, table)
+        record.desc.incref()  # supervisor's reference
+        fd = fdtable.install(record.desc)
+        cache.store(record, fd)
+        record.desc.decref()  # supervisor closes
+        assert not record.conn.closed  # cache still pins it
+        cache.evict_record(record)
+        assert record.conn.closed
+
+    def test_store_replaces_stale_fd(self, engine, table):
+        cache, fdtable = self.make()
+        record = self.record(engine, table)
+        fd1 = fdtable.install(record.desc)
+        record.desc.incref()
+        fd2 = fdtable.install(record.desc)
+        cache.store(record, fd1)
+        cache.store(record, fd2)
+        assert cache.probe(record) == fd2
+        assert fd1 not in fdtable

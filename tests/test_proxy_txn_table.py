@@ -1,0 +1,100 @@
+"""Unit tests for the shared transaction table and timer list."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.proxy.costs import CostModel
+from repro.proxy.txn_table import ProxyTransaction, TimerList, TransactionTable
+
+from conftest import drive
+
+
+def make_txn(branch="z9hG4bK-pxy-1", upstream=("z9hG4bKcaller", "INVITE"),
+             method="INVITE"):
+    return ProxyTransaction(
+        upstream_key=upstream, our_branch=branch, method=method,
+        source=("client1", 20000), forward_target=None,
+        forwarded_text="INVITE ...", created_at=0.0)
+
+
+@pytest.fixture
+def table():
+    return TransactionTable(CostModel(), buckets=64)
+
+
+class TestTransactionTable:
+    def test_insert_and_lookup_both_indexes(self, engine, table):
+        txn = make_txn()
+        drive(engine, table.insert(txn))
+        assert drive(engine, table.lookup_upstream(txn.upstream_key)) is txn
+        assert drive(engine, table.lookup_branch(txn.our_branch)) is txn
+        assert len(table) == 1
+
+    def test_lookup_miss_returns_none(self, engine, table):
+        assert drive(engine, table.lookup_branch("nope")) is None
+        assert drive(engine, table.lookup_upstream(("x", "BYE"))) is None
+
+    def test_update_sets_fields(self, engine, table):
+        txn = make_txn()
+        drive(engine, table.insert(txn))
+        drive(engine, table.update(txn, responded=True,
+                                   last_response_text="200 OK"))
+        assert txn.responded
+        assert txn.last_response_text == "200 OK"
+
+    def test_remove_clears_both_indexes(self, engine, table):
+        txn = make_txn()
+        drive(engine, table.insert(txn))
+        drive(engine, table.remove(txn))
+        assert len(table) == 0
+        assert drive(engine, table.lookup_branch(txn.our_branch)) is None
+        assert drive(engine, table.lookup_upstream(txn.upstream_key)) is None
+
+    def test_operations_charge_cpu(self, engine, table):
+        drive(engine, table.insert(make_txn()))
+        assert engine.now > 0.0
+
+    def test_probe_cost_grows_with_load(self, engine):
+        costs = CostModel()
+        small = costs.txn_probe_cost(0, 64)
+        large = costs.txn_probe_cost(640, 64)
+        assert large > small
+
+    def test_peak_size_tracked(self, engine, table):
+        for i in range(5):
+            drive(engine, table.insert(make_txn(branch=f"b{i}",
+                                                upstream=(f"u{i}", "INVITE"))))
+        drive(engine, table.remove(
+            drive(engine, table.lookup_branch("b0"))))
+        assert table.peak_size == 5
+
+
+class TestTimerList:
+    def test_insert_and_pop_expired(self, engine):
+        timers = TimerList(CostModel())
+        drive(engine, timers.insert(100.0, "rtx", "b1"))
+        drive(engine, timers.insert(200.0, "gc", "b2"))
+        out = drive(engine, timers.pop_expired(150.0, limit=10))
+        assert out == [("rtx", "b1")]
+        out = drive(engine, timers.pop_expired(250.0, limit=10))
+        assert out == [("gc", "b2")]
+
+    def test_pop_respects_limit(self, engine):
+        timers = TimerList(CostModel())
+        for i in range(5):
+            drive(engine, timers.insert(10.0, "rtx", f"b{i}"))
+        out = drive(engine, timers.pop_expired(100.0, limit=2))
+        assert len(out) == 2
+        assert len(timers) == 3
+
+    def test_pop_orders_by_deadline(self, engine):
+        timers = TimerList(CostModel())
+        drive(engine, timers.insert(300.0, "rtx", "late"))
+        drive(engine, timers.insert(100.0, "rtx", "early"))
+        out = drive(engine, timers.pop_expired(1000.0, limit=10))
+        assert [branch for __, branch in out] == ["early", "late"]
+
+    def test_nothing_expired(self, engine):
+        timers = TimerList(CostModel())
+        drive(engine, timers.insert(1000.0, "rtx", "b"))
+        assert drive(engine, timers.pop_expired(10.0, limit=10)) == []

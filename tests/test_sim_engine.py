@@ -1,0 +1,106 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_clock_starts_at_zero(engine):
+    assert engine.now == 0.0
+
+
+def test_events_fire_in_time_order(engine):
+    order = []
+    engine.schedule(30.0, order.append, "c")
+    engine.schedule(10.0, order.append, "a")
+    engine.schedule(20.0, order.append, "b")
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 30.0
+
+
+def test_same_time_events_fire_in_schedule_order(engine):
+    order = []
+    for tag in "abcde":
+        engine.schedule(5.0, order.append, tag)
+    engine.run()
+    assert order == list("abcde")
+
+
+def test_cancelled_events_do_not_fire(engine):
+    fired = []
+    handle = engine.schedule(10.0, fired.append, "x")
+    engine.schedule(5.0, handle.cancel)
+    engine.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(engine):
+    handle = engine.schedule(10.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    engine.run()
+
+
+def test_run_until_advances_clock_even_without_events(engine):
+    engine.schedule(10.0, lambda: None)
+    end = engine.run(until=100.0)
+    assert end == 100.0
+    assert engine.now == 100.0
+
+
+def test_run_until_leaves_future_events_pending(engine):
+    fired = []
+    engine.schedule(50.0, fired.append, "later")
+    engine.run(until=20.0)
+    assert fired == []
+    assert engine.pending == 1
+    engine.run()
+    assert fired == ["later"]
+
+
+def test_negative_delay_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected(engine):
+    engine.schedule(10.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5.0, lambda: None)
+
+
+def test_events_can_schedule_more_events(engine):
+    order = []
+
+    def first():
+        order.append("first")
+        engine.schedule(5.0, lambda: order.append("second"))
+
+    engine.schedule(1.0, first)
+    engine.run()
+    assert order == ["first", "second"]
+    assert engine.now == 6.0
+
+
+def test_stop_halts_run(engine):
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(2.0, engine.stop)
+    engine.schedule(3.0, fired.append, "b")
+    engine.run()
+    assert fired == ["a"]
+    engine.run()
+    assert fired == ["a", "b"]
+
+
+def test_step_returns_false_when_empty(engine):
+    assert engine.step() is False
+
+
+def test_pending_counts_uncancelled(engine):
+    h1 = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert engine.pending == 1

@@ -1,0 +1,160 @@
+"""Unit tests for UAC/UAS transaction state machines."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sip.builder import MessageBuilder
+from repro.sip.parser import parse_message
+from repro.sip.transaction import (
+    ClientTransaction,
+    ServerTransaction,
+    TransactionTimers,
+    TxnState,
+)
+
+
+@pytest.fixture
+def alice():
+    return MessageBuilder("alice", "example.com", "client1", 40000, "udp",
+                          random.Random(1))
+
+
+@pytest.fixture
+def bob():
+    return MessageBuilder("bob", "example.com", "client2", 40001, "udp",
+                          random.Random(2))
+
+
+def collect(sink):
+    def send(text):
+        sink.append(text)
+    return send
+
+
+class TestClientTransaction:
+    def test_start_sends_request(self, engine, alice):
+        wire = []
+        txn = ClientTransaction(engine, alice.invite("bob"), collect(wire),
+                                reliable=False)
+        txn.start()
+        assert len(wire) == 1
+        assert wire[0].startswith("INVITE")
+
+    def test_udp_retransmits_with_backoff(self, engine, alice):
+        wire = []
+        timers = TransactionTimers(t1_us=500_000.0)
+        txn = ClientTransaction(engine, alice.invite("bob"), collect(wire),
+                                reliable=False, timers=timers)
+        txn.start()
+        engine.run(until=3_400_000.0)  # retransmits at 0.5s, 1.5s (next: 3.5s)
+        assert len(wire) == 3
+        assert txn.retransmissions == 2
+
+    def test_tcp_never_retransmits(self, engine, alice):
+        wire = []
+        txn = ClientTransaction(engine, alice.invite("bob"), collect(wire),
+                                reliable=True)
+        txn.start()
+        engine.run(until=10_000_000.0)
+        assert len(wire) == 1
+
+    def test_provisional_stops_retransmission(self, engine, alice, bob):
+        wire = []
+        invite = alice.invite("bob")
+        txn = ClientTransaction(engine, invite, collect(wire), reliable=False)
+        txn.start()
+        ringing = bob.response_for(invite, 180, to_tag="b")
+        engine.schedule(100_000.0, txn.handle_response, ringing)
+        engine.run(until=5_000_000.0)
+        assert len(wire) == 1
+        assert txn.state is TxnState.PROCEEDING
+
+    def test_final_response_terminates(self, engine, alice, bob):
+        responses = []
+        invite = alice.invite("bob")
+        txn = ClientTransaction(engine, invite, collect([]), reliable=False,
+                                on_response=responses.append)
+        txn.start()
+        ok = bob.response_for(invite, 200, to_tag="b")
+        txn.handle_response(ok)
+        assert txn.state is TxnState.TERMINATED
+        assert txn.final_response.status == 200
+        assert responses == [ok]
+        engine.run(until=60_000_000.0)  # no timers left
+
+    def test_timeout_fires_after_64_t1(self, engine, alice):
+        timeouts = []
+        timers = TransactionTimers(t1_us=10_000.0)
+        txn = ClientTransaction(engine, alice.invite("bob"), collect([]),
+                                reliable=False, timers=timers,
+                                on_timeout=lambda: timeouts.append(engine.now))
+        txn.start()
+        engine.run(until=10_000_000.0)
+        assert timeouts == [pytest.approx(640_000.0)]
+        assert txn.state is TxnState.TERMINATED
+
+    def test_matches_by_branch_and_method(self, engine, alice, bob):
+        invite = alice.invite("bob")
+        txn = ClientTransaction(engine, invite, collect([]), reliable=False)
+        ok = bob.response_for(invite, 200, to_tag="b")
+        assert txn.matches(ok)
+        other = bob.response_for(alice.invite("bob"), 200, to_tag="b")
+        assert not txn.matches(other)
+
+
+class TestServerTransaction:
+    def test_respond_sends(self, engine, alice, bob):
+        wire = []
+        invite = alice.invite("bob")
+        txn = ServerTransaction(engine, invite, collect(wire), reliable=False)
+        txn.respond(bob.response_for(invite, 180, to_tag="b"))
+        assert len(wire) == 1
+        assert parse_message(wire[0]).status == 180
+
+    def test_invite_final_retransmits_until_ack(self, engine, alice, bob):
+        wire = []
+        timers = TransactionTimers(t1_us=100_000.0)
+        invite = alice.invite("bob")
+        txn = ServerTransaction(engine, invite, collect(wire),
+                                reliable=False, timers=timers)
+        txn.respond(bob.response_for(invite, 200, to_tag="b"))
+        engine.run(until=350_000.0)  # retransmits at 100ms and 300ms
+        assert len(wire) == 3
+        txn.handle_ack()
+        engine.run(until=10_000_000.0)
+        assert len(wire) == 3
+        assert txn.terminated
+
+    def test_reliable_final_not_retransmitted(self, engine, alice, bob):
+        wire = []
+        invite = alice.invite("bob")
+        txn = ServerTransaction(engine, invite, collect(wire), reliable=True)
+        txn.respond(bob.response_for(invite, 200, to_tag="b"))
+        engine.run(until=10_000_000.0)
+        assert len(wire) == 1
+
+    def test_request_retransmission_replays_response(self, engine, alice, bob):
+        wire = []
+        invite = alice.invite("bob")
+        txn = ServerTransaction(engine, invite, collect(wire), reliable=False)
+        txn.respond(bob.response_for(invite, 180, to_tag="b"))
+        txn.handle_request_retransmission()
+        assert len(wire) == 2
+        assert wire[0] == wire[1]
+        assert txn.request_retransmissions_absorbed == 1
+
+    def test_give_up_without_ack(self, engine, alice, bob):
+        timers = TransactionTimers(t1_us=1_000.0)
+        invite = alice.invite("bob")
+        txn = ServerTransaction(engine, invite, collect([]), reliable=False,
+                                timers=timers)
+        txn.respond(bob.response_for(invite, 200, to_tag="b"))
+        engine.run(until=1_000_000.0)
+        assert txn.terminated
+
+    def test_key_matches_transaction_key(self, engine, alice, bob):
+        invite = alice.invite("bob")
+        txn = ServerTransaction(engine, invite, collect([]), reliable=False)
+        assert txn.key == invite.transaction_key()

@@ -1,0 +1,64 @@
+"""Unit tests for sip: URI parsing."""
+
+import pytest
+
+from repro.sip.uri import SipUri
+
+
+def test_parse_full_uri():
+    uri = SipUri.parse("sip:alice@example.com:5060;transport=tcp")
+    assert uri.user == "alice"
+    assert uri.host == "example.com"
+    assert uri.port == 5060
+    assert uri.params == {"transport": "tcp"}
+
+
+def test_parse_minimal_uri():
+    uri = SipUri.parse("sip:example.com")
+    assert uri.user is None
+    assert uri.host == "example.com"
+    assert uri.port is None
+
+
+def test_parse_user_without_port():
+    uri = SipUri.parse("sip:bob@voip.org")
+    assert uri.user == "bob"
+    assert uri.port is None
+
+
+def test_render_roundtrip():
+    for text in ("sip:alice@example.com:5060;transport=tcp",
+                 "sip:example.com",
+                 "sip:bob@voip.org;lr"):
+        assert SipUri.parse(text).render() == text
+
+
+def test_valueless_param():
+    uri = SipUri.parse("sip:proxy.example.com;lr")
+    assert uri.params == {"lr": ""}
+    assert uri.render() == "sip:proxy.example.com;lr"
+
+
+def test_aor():
+    assert SipUri.parse("sip:alice@example.com:5070").aor == "alice@example.com"
+    assert SipUri.parse("sip:example.com").aor == "example.com"
+
+
+def test_equality_and_hash():
+    a = SipUri.parse("sip:alice@example.com")
+    b = SipUri.parse("sip:alice@example.com")
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != SipUri.parse("sip:bob@example.com")
+
+
+@pytest.mark.parametrize("bad", [
+    "http://example.com",
+    "sip:",
+    "sip:@example.com",
+    "sip:alice@host:notaport",
+    "alice@example.com",
+])
+def test_malformed_uris_rejected(bad):
+    with pytest.raises(ValueError):
+        SipUri.parse(bad)
