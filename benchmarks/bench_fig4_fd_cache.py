@@ -48,8 +48,8 @@ def test_fig4_fd_cache(benchmark):
         assert t50[count] < 0.75 * pers[count], (count, t50, pers)
 
     # The cache must actually be hitting.
-    proxy = grid["tcp-persistent"][100].proxy
-    assert proxy.stats.fd_cache_hits > proxy.stats.fd_cache_misses
+    totals = grid["tcp-persistent"][100].proxy_totals
+    assert totals["fd_cache_hits"] > totals["fd_cache_misses"]
 
 
 def test_fig4_cache_improves_over_fig3(benchmark):
@@ -69,6 +69,6 @@ def test_fig4_cache_improves_over_fig3(benchmark):
         before = base[series][100].throughput_ops_s
         after = cached[series][100].throughput_ops_s
         assert after > before * 1.3, (series, before, after)
-    ipc_before = base["tcp-persistent"][100].proxy.stats.fd_requests
-    ipc_after = cached["tcp-persistent"][100].proxy.stats.fd_requests
+    ipc_before = base["tcp-persistent"][100].proxy_totals["fd_requests"]
+    ipc_after = cached["tcp-persistent"][100].proxy_totals["fd_requests"]
     assert ipc_after < ipc_before / 5

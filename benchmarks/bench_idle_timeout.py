@@ -16,7 +16,8 @@ below it.
 """
 
 from conftest import record_report
-from repro.analysis import ExperimentSpec, run_cell
+from repro.analysis import ExperimentSpec
+from cells import run_cell
 
 FD_BUDGET = 4000
 COMPRESSION = 5.0
@@ -47,7 +48,7 @@ def test_idle_timeout_starvation(benchmark):
     for timeout, result in results.items():
         stats = result.proxy_stats
         lines.append(f"{timeout:>7.0f}s{result.throughput_ops_s:>9.0f}"
-                     f"{len(result.proxy.conn_table):>12}"
+                     f"{result.open_conns:>12}"
                      f"{stats['accept_failures']:>14}"
                      f"{result.calls_failed:>14}")
     lines.append("paper: 120 s exhausts the server under churn; 10 s "
@@ -60,7 +61,6 @@ def test_idle_timeout_starvation(benchmark):
     assert long_fails > 0
     # 10 s: bounded population, (essentially) healthy accepts.
     assert short_fails <= long_fails / 10
-    assert len(short_run.proxy.conn_table) < \
-        len(long_run.proxy.conn_table)
+    assert short_run.open_conns < long_run.open_conns
     # And the short timeout performs at least as well.
     assert short_run.throughput_ops_s >= long_run.throughput_ops_s * 0.9

@@ -65,8 +65,8 @@ def test_profile_idle_scan_blowup(benchmark):
     assert share_churn >= 2.0 * share_persistent, \
         (share_persistent, share_churn)
     # The sweep population is the driver: churn examined far more entries.
-    assert churn.proxy.stats.idle_scan_entries_examined > \
-        2 * persistent.proxy.stats.idle_scan_entries_examined
+    assert churn.proxy_totals["idle_scan_entries_examined"] > \
+        2 * persistent.proxy_totals["idle_scan_entries_examined"]
     # Lock pressure: spin/yield time grows under churn.
     spin_persistent = sum(us for label, us in
                           persistent.profile.items() if ".spin" in label)

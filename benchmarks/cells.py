@@ -1,45 +1,71 @@
-"""Memoized experiment cells shared across benchmarks.
+"""Shared experiment cells: parallel execution + persistent memoization.
 
 Several benchmarks need the same (series, clients, fixes) cell — the
 figure grids, the §8 conclusion ranges, the §6 ablations.  Simulations
 are deterministic given a seed, so identical specs give identical
-results; caching them makes the whole suite run each unique cell once.
+results.  Cells are therefore:
+
+- cached **on disk** (``benchmarks/results/.cache/``, see
+  :mod:`repro.analysis.cache`), so a second benchmark run re-reads every
+  grid in well under a second instead of re-simulating it;
+- memoized in-process on top, so repeated access inside one pytest run
+  costs nothing;
+- fanned across CPU cores for grid runs (``REPRO_JOBS`` overrides the
+  worker count; set ``REPRO_JOBS=1`` to force serial execution).
+
+Results here are the runner's serializable form: assert on
+``result.proxy_totals`` / ``result.open_conns`` rather than the live
+``result.proxy`` object (which only a direct, uncached
+:func:`repro.analysis.run_cell` call attaches).
 """
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional
 
-from repro.analysis import ExperimentSpec, run_cell as _run_cell
+from repro.analysis import ExperimentSpec, ResultCache, figure_specs, spec_key
+from repro.analysis.runner import CellOutcome, run_cells
 
-_cache: Dict[Tuple, object] = {}
+#: persistent cross-run cache (benchmarks/results/.cache/)
+DISK_CACHE = ResultCache()
+
+_memo: Dict[str, object] = {}
 
 
-def _key(spec: ExperimentSpec) -> Tuple:
-    return (spec.series, spec.clients, spec.fd_cache, spec.idle_strategy,
-            spec.supervisor_nice, spec.idle_timeout_us, spec.workers,
-            spec.seed, spec.warmup_us, spec.measure_us, spec.profile,
-            spec.stateful, spec.server_fd_limit,
-            tuple(sorted(spec.config_overrides.items())))
+def _run_batch(specs: List[ExperimentSpec], jobs: Optional[int]) -> list:
+    """Run specs through the shared runner, memoizing per spec key."""
+    keys = [spec_key(spec) for spec in specs]
+    results: List[object] = [None] * len(specs)
+    todo = [index for index, key in enumerate(keys)
+            if key is None or key not in _memo]
+    if todo:
+        outcomes: List[CellOutcome] = run_cells([specs[i] for i in todo],
+                                                jobs=jobs, cache=DISK_CACHE)
+        for index, outcome in zip(todo, outcomes):
+            if keys[index] is not None:
+                _memo[keys[index]] = outcome.result
+            results[index] = outcome.result
+    for index, key in enumerate(keys):
+        if results[index] is None:
+            results[index] = _memo[key]
+    return results
 
 
 def run_cell(spec: ExperimentSpec):
-    """Deterministic cell runner with cross-benchmark memoization."""
-    key = _key(spec)
-    if key not in _cache:
-        _cache[key] = _run_cell(spec)
-    return _cache[key]
+    """Deterministic cell runner with disk + in-process memoization."""
+    return _run_batch([spec], jobs=1)[0]
 
 
 def run_figure(fd_cache: bool, idle_strategy: str,
                series=("tcp-50", "tcp-500", "tcp-persistent", "udp"),
-               clients=(100, 500, 1000), seed: int = 1, **spec_overrides):
-    """Memoizing counterpart of :func:`repro.analysis.run_figure`."""
-    grid = {}
-    for name in series:
-        grid[name] = {}
-        for count in clients:
-            spec = ExperimentSpec(series=name, clients=count,
-                                  fd_cache=fd_cache,
-                                  idle_strategy=idle_strategy,
-                                  seed=seed, **spec_overrides)
-            grid[name][count] = run_cell(spec)
+               clients=(100, 500, 1000), seed: int = 1,
+               jobs: Optional[int] = None, **spec_overrides):
+    """Parallel, memoizing counterpart of :func:`repro.analysis.run_figure`.
+
+    ``jobs=None`` fans uncached cells across all cores.
+    """
+    specs = figure_specs(fd_cache, idle_strategy, series=series,
+                         clients=clients, seed=seed, **spec_overrides)
+    results = _run_batch(specs, jobs=jobs)
+    grid: Dict[str, Dict[int, object]] = {name: {} for name in series}
+    for spec, result in zip(specs, results):
+        grid[spec.series][spec.clients] = result
     return grid

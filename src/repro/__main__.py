@@ -5,12 +5,20 @@ Examples::
     python -m repro --series udp --clients 100
     python -m repro --series tcp-50 --clients 500 --fd-cache --idle pq
     python -m repro --series tcp-persistent --nice 0 --profile
+    python -m repro --series tcp-50 --clients 100 500 1000 --jobs 4
+
+Cells are deterministic, so results are cached on disk
+(``benchmarks/results/.cache/``; see ``--no-cache``/``--clear-cache``).
+Passing several ``--clients`` values runs one cell per value, fanned
+across ``--jobs`` worker processes.
 """
 
 import argparse
 import sys
 
-from repro.analysis.experiments import SERIES_DEF, ExperimentSpec, run_cell
+from repro.analysis.cache import ResultCache, default_cache_dir
+from repro.analysis.experiments import SERIES_DEF, ExperimentSpec
+from repro.analysis.runner import default_jobs, run_cells
 from repro.profiling.report import ProfileReport
 
 
@@ -21,8 +29,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--series", default="udp",
                         choices=sorted(SERIES_DEF),
                         help="workload series (transport + connection reuse)")
-    parser.add_argument("--clients", type=int, default=100,
-                        help="concurrent caller/callee pairs")
+    parser.add_argument("--clients", type=int, default=[100], nargs="+",
+                        help="concurrent caller/callee pairs (several values "
+                             "run one cell each)")
     parser.add_argument("--fd-cache", action="store_true",
                         help="enable the Fig. 4 descriptor cache")
     parser.add_argument("--idle", default="scan", choices=("scan", "pq"),
@@ -36,26 +45,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="measurement window, µs of simulated time")
     parser.add_argument("--profile", action="store_true",
                         help="print the simulated OProfile top functions")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for multi-cell runs "
+                             "(default: all cores; 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result cache")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="delete every cached result, then run")
     return parser
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    spec = ExperimentSpec(
-        series=args.series,
-        clients=args.clients,
-        fd_cache=args.fd_cache,
-        idle_strategy=args.idle,
-        supervisor_nice=args.nice,
-        workers=args.workers,
-        seed=args.seed,
-        measure_us=args.measure_us,
-        profile=args.profile,
-    )
-    result = run_cell(spec)
-    print(f"series:       {args.series} "
-          f"({spec.transport()}, ops/conn={spec.ops_per_conn()})")
-    print(f"clients:      {args.clients}")
+def _print_cell(spec: ExperimentSpec, result, cached: bool,
+                profile: bool) -> None:
+    cache_note = " [cached]" if cached else ""
+    print(f"series:       {spec.series} "
+          f"({spec.transport()}, ops/conn={spec.ops_per_conn()}){cache_note}")
+    print(f"clients:      {spec.clients}")
     print(f"throughput:   {result.throughput_ops_s:,.0f} transactions/s "
           f"({result.ops} ops in {result.duration_us / 1e6:.2f}s)")
     print(f"cpu:          {result.cpu_utilization * 100:.0f}% of 4 cores")
@@ -68,10 +73,37 @@ def main(argv=None) -> int:
                        "conns_closed_idle", "accept_failures")}
     if interesting:
         print(f"server:       {interesting}")
-    if args.profile:
+    if profile:
         print()
-        print(ProfileReport(result.profile, f"{args.series} profile")
+        print(ProfileReport(result.profile, f"{spec.series} profile")
               .render(12))
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    cache = None if args.no_cache else ResultCache()
+    if args.clear_cache:
+        removed = ResultCache().clear()
+        print(f"cache:        cleared {removed} cached cells "
+              f"({default_cache_dir()})")
+    specs = [ExperimentSpec(
+        series=args.series,
+        clients=clients,
+        fd_cache=args.fd_cache,
+        idle_strategy=args.idle,
+        supervisor_nice=args.nice,
+        workers=args.workers,
+        seed=args.seed,
+        measure_us=args.measure_us,
+        profile=args.profile,
+    ) for clients in args.clients]
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    outcomes = run_cells(specs, jobs=jobs, cache=cache)
+    for index, outcome in enumerate(outcomes):
+        if index:
+            print()
+        _print_cell(outcome.spec, outcome.result, outcome.cached,
+                    args.profile)
     return 0
 
 

@@ -1,25 +1,36 @@
 """Experiment drivers and result rendering.
 
 :mod:`~repro.analysis.experiments` runs the paper's cells;
-:mod:`~repro.analysis.paper_data` holds the published numbers;
+:mod:`~repro.analysis.runner` fans independent cells across worker
+processes; :mod:`~repro.analysis.cache` persists deterministic results
+on disk; :mod:`~repro.analysis.paper_data` holds the published numbers;
 :mod:`~repro.analysis.tables` renders measured-vs-paper tables for every
 figure.
 """
 
 from repro.analysis.experiments import (
     ExperimentSpec,
+    figure_specs,
     run_cell,
     run_figure,
     TCP_WORKERS,
     UDP_WORKERS,
 )
+from repro.analysis.cache import ResultCache, spec_key
+from repro.analysis.runner import CellOutcome, default_jobs, run_cells
 from repro.analysis.paper_data import PAPER_FIGURES, SERIES, CLIENT_COUNTS
 from repro.analysis.tables import render_figure, render_comparison
 
 __all__ = [
     "ExperimentSpec",
+    "figure_specs",
     "run_cell",
     "run_figure",
+    "run_cells",
+    "CellOutcome",
+    "ResultCache",
+    "spec_key",
+    "default_jobs",
     "UDP_WORKERS",
     "TCP_WORKERS",
     "PAPER_FIGURES",

@@ -160,18 +160,36 @@ def run_cell(spec: ExperimentSpec) -> BenchmarkResult:
     return result
 
 
+def figure_specs(fd_cache: bool, idle_strategy: str,
+                 series=("tcp-50", "tcp-500", "tcp-persistent", "udp"),
+                 clients=(100, 500, 1000), seed: int = 1,
+                 **spec_overrides):
+    """The flat list of specs making up one figure grid (row-major)."""
+    return [ExperimentSpec(series=name, clients=count, fd_cache=fd_cache,
+                           idle_strategy=idle_strategy, seed=seed,
+                           **spec_overrides)
+            for name in series for count in clients]
+
+
 def run_figure(fd_cache: bool, idle_strategy: str,
                series=("tcp-50", "tcp-500", "tcp-persistent", "udp"),
                clients=(100, 500, 1000), seed: int = 1,
+               jobs: int = 1, cache=None,
                **spec_overrides) -> Dict[str, Dict[int, BenchmarkResult]]:
-    """Run a full 4×3 figure grid; returns results[series][clients]."""
-    grid: Dict[str, Dict[int, BenchmarkResult]] = {}
-    for name in series:
-        grid[name] = {}
-        for count in clients:
-            spec = ExperimentSpec(series=name, clients=count,
-                                  fd_cache=fd_cache,
-                                  idle_strategy=idle_strategy,
-                                  seed=seed, **spec_overrides)
-            grid[name][count] = run_cell(spec)
+    """Run a full figure grid; returns results[series][clients].
+
+    ``jobs`` > 1 fans the cells across worker processes and ``cache``
+    (a :class:`~repro.analysis.cache.ResultCache`) skips already-computed
+    cells; both go through :func:`repro.analysis.runner.run_cells`, so
+    results are deterministic and identical to the serial path (they are
+    the serializable form — no live ``proxy`` attached).
+    """
+    from repro.analysis.runner import run_cells  # avoid an import cycle
+
+    specs = figure_specs(fd_cache, idle_strategy, series=series,
+                         clients=clients, seed=seed, **spec_overrides)
+    outcomes = run_cells(specs, jobs=jobs, cache=cache)
+    grid: Dict[str, Dict[int, BenchmarkResult]] = {name: {} for name in series}
+    for spec, outcome in zip(specs, outcomes):
+        grid[spec.series][spec.clients] = outcome.result
     return grid

@@ -113,6 +113,8 @@ class BenchmarkManager:
             setup_latency_us=percentiles(
                 [sample for phone in self.callers
                  for sample in phone.setup_latencies_us]),
+            proxy_totals=self.proxy.stats.snapshot(),
+            open_conns=len(getattr(self.proxy, "conn_table", ())),
         )
 
     def stop(self) -> None:

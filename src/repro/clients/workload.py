@@ -36,7 +36,14 @@ class Workload:
 
 @dataclass
 class BenchmarkResult:
-    """What one run of one cell produced."""
+    """What one run of one cell produced.
+
+    Every field is JSON-serializable, so results survive the disk cache
+    and the parallel runner's process boundary unchanged
+    (:mod:`repro.analysis.runner`).  Server-side state a benchmark wants
+    to assert on must therefore live in the summary fields below
+    (``proxy_totals``, ``open_conns``), not on live objects.
+    """
 
     throughput_ops_s: float
     ops: int
@@ -49,6 +56,15 @@ class BenchmarkResult:
     profile: Dict[str, float] = field(default_factory=dict)
     #: call-setup latency percentiles (µs): {"p50": ..., "p95": ..., "p99": ...}
     setup_latency_us: Dict[str, float] = field(default_factory=dict)
+    #: cumulative proxy counters at the end of the run (not windowed)
+    proxy_totals: Dict[str, float] = field(default_factory=dict)
+    #: connection-table population at the end of the run (0 for UDP)
+    open_conns: int = 0
+
+    def __repr__(self) -> str:
+        return (f"<BenchmarkResult {self.throughput_ops_s:.0f} ops/s "
+                f"({self.ops} ops / {self.duration_us / 1e6:.2f}s, "
+                f"util={self.cpu_utilization:.2f})>")
 
 
 def percentiles(samples, points=(50, 95, 99)) -> Dict[str, float]:
@@ -62,8 +78,3 @@ def percentiles(samples, points=(50, 95, 99)) -> Dict[str, float]:
                           math.ceil(point / 100.0 * len(ordered)) - 1))
         out[f"p{point}"] = ordered[rank]
     return out
-
-    def __repr__(self) -> str:
-        return (f"<BenchmarkResult {self.throughput_ops_s:.0f} ops/s "
-                f"({self.ops} ops / {self.duration_us / 1e6:.2f}s, "
-                f"util={self.cpu_utilization:.2f})>")

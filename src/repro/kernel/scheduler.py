@@ -241,10 +241,13 @@ class Scheduler:
         assert proc is not None and proc.pending is not None
         if core.slice_handle is not None:
             core.slice_handle.cancel()
-        slice_len = min(self.quantum_us, proc.pending[0])
-        core.slice_started = self.engine.now
+        engine = self.engine
+        pending_us = proc.pending[0]
+        quantum = self.quantum_us
+        slice_len = pending_us if pending_us < quantum else quantum
+        core.slice_started = engine.now
         core.slice_len = slice_len
-        core.slice_handle = self.engine.schedule(
+        core.slice_handle = engine.schedule(
             slice_len + core.ctx_pending, self._slice_end, core, proc)
 
     def _charge(self, proc: "KernelProcess", us: float, label: str) -> None:
@@ -266,12 +269,21 @@ class Scheduler:
         if core.current is not proc:
             return  # stale (process was preempted or released)
         core.slice_handle = None
-        self._settle_ctx(core, proc)
+        # Hot path: one _slice_end per Compute burst, millions per cell.
+        # The context-switch settle is skipped entirely in the common
+        # ctx_pending == 0 case, and the charge is inlined.
+        if core.ctx_pending > 0:
+            self._settle_ctx(core, proc)
         ran = core.slice_len
         core.busy_us += ran
         pending = proc.pending
         assert pending is not None
-        self._charge(proc, ran, pending[1])
+        if ran > 0:
+            proc.vruntime += ran * NICE_0_WEIGHT / proc.weight
+            proc.cpu_us += ran
+            proc.cpu_debt += ran
+            if self.profiler is not None:
+                self.profiler.record(pending[1], ran, proc.name)
         pending[0] -= ran
         if pending[0] > 1e-9:
             # Quantum expired mid-burst: requeue if a peer deserves the core.

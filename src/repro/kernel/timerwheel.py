@@ -70,8 +70,18 @@ class PeriodicTimer:
     def _tick(self) -> None:
         if not self.running:
             return
-        self._handle = self.engine.schedule(self.period_us, self._tick)
-        self.fn(*self.args)
+        self._handle = None
+        try:
+            self.fn(*self.args)
+        except BaseException:
+            # A failing callback must not leave a zombie timer ticking
+            # forever; the timer is dead until start() is called again.
+            self.running = False
+            raise
+        # Reschedule only after fn ran (and only if fn didn't stop us);
+        # callbacks run at a fixed instant, so firing cadence is unchanged.
+        if self.running:
+            self._handle = self.engine.schedule(self.period_us, self._tick)
 
     def __repr__(self) -> str:
         state = "running" if self.running else "stopped"

@@ -43,12 +43,18 @@ class ProxyStats:
         self.pq_operations = 0
         self.send_failures = 0
 
-    def snapshot(self) -> Dict[str, int]:
-        """A copy of all counters (for windowed measurements)."""
-        return {name: value for name, value in vars(self).items()
-                if isinstance(value, int)}
+    def snapshot(self) -> Dict[str, float]:
+        """A copy of all numeric counters (for windowed measurements).
 
-    def delta(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        Every int *and* float field is captured; bools are excluded (a
+        plain ``isinstance(value, int)`` filter would count them and
+        silently drop float-valued counters).
+        """
+        return {name: value for name, value in vars(self).items()
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)}
+
+    def delta(self, earlier: Dict[str, float]) -> Dict[str, float]:
         """Counter increases since an earlier :meth:`snapshot`."""
         current = self.snapshot()
         return {name: current[name] - earlier.get(name, 0)

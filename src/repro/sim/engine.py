@@ -3,6 +3,13 @@
 Time is measured in **microseconds of simulated time** throughout the
 project.  The engine guarantees deterministic ordering: events scheduled
 for the same instant fire in the order they were scheduled.
+
+Cancellation is lazy: a cancelled entry stays in the heap until it is
+popped or until a compaction removes it.  The engine keeps an exact
+count of cancelled entries still in the heap, so compaction triggers as
+soon as cancelled entries outnumber live ones (restartable SIP
+retransmission timers cancel on every restart, which used to bloat the
+heap until a step-count heuristic fired).
 """
 
 import heapq
@@ -17,20 +24,26 @@ class Scheduled:
     """Handle for a scheduled callback; allows cancellation.
 
     Returned by :meth:`Engine.schedule` and :meth:`Engine.schedule_at`.
+    A consumed (fired) entry is marked cancelled as well, so ``cancel``
+    after the fact is a no-op and does not skew the engine's count.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "engine")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple,
+                 engine: "Engine") -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self.engine._cancelled += 1
 
     def __lt__(self, other: "Scheduled") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -50,25 +63,39 @@ class Engine:
         eng.run(until=1_000_000)         # simulate one second
     """
 
-    #: compaction triggers: heap larger than this and mostly cancelled
-    COMPACT_MIN = 65536
+    #: compaction triggers: heap at least this big and mostly cancelled
+    COMPACT_MIN = 8192
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Scheduled] = []
+        self._heap: List[tuple] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
-        self._steps_since_compact = 0
+        #: exact number of cancelled entries still sitting in the heap
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Scheduled:
         """Schedule ``fn(*args)`` to run ``delay`` µs from now."""
+        # Inlined schedule_at: this is the hottest allocation site in the
+        # whole simulator (millions of calls per cell).
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        self._seq = seq = self._seq + 1
+        item = Scheduled(time, seq, fn, args, self)
+        heap = self._heap
+        # Heap entries are (time, seq, item) tuples so ordering runs on C
+        # tuple comparison rather than Scheduled.__lt__.
+        heapq.heappush(heap, (time, seq, item))
+        # The heap only grows here, so this is the one place compaction
+        # needs checking: fire when cancelled entries dominate.
+        if self._cancelled * 2 > len(heap) and len(heap) >= self.COMPACT_MIN:
+            self.compact()
+        return item
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> Scheduled:
         """Schedule ``fn(*args)`` to run at absolute simulated time ``time``."""
@@ -76,41 +103,44 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule into the past (t={time}, now={self.now})"
             )
-        self._seq += 1
-        item = Scheduled(time, self._seq, fn, args)
-        # Heap entries are (time, seq, item) tuples so ordering runs on C
-        # tuple comparison rather than Scheduled.__lt__.
-        heapq.heappush(self._heap, (time, self._seq, item))
+        self._seq = seq = self._seq + 1
+        item = Scheduled(time, seq, fn, args, self)
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, item))
+        if self._cancelled * 2 > len(heap) and len(heap) >= self.COMPACT_MIN:
+            self.compact()
         return item
 
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
     def compact(self) -> None:
-        """Drop cancelled entries from the heap (kept lazily otherwise)."""
-        live = [entry for entry in self._heap if not entry[2].cancelled]
-        if len(live) < len(self._heap):
-            self._heap = live
-            heapq.heapify(self._heap)
+        """Drop cancelled entries from the heap (kept lazily otherwise).
 
-    def _maybe_compact(self) -> None:
-        self._steps_since_compact += 1
-        if self._steps_since_compact < 100_000 or \
-                len(self._heap) < self.COMPACT_MIN:
-            return
-        self._steps_since_compact = 0
-        self.compact()
+        Mutates the heap list in place so aliases held by a running
+        :meth:`run` loop stay valid.
+        """
+        if self._cancelled:
+            heap = self._heap
+            live = [entry for entry in heap if not entry[2].cancelled]
+            if len(live) < len(heap):
+                heap[:] = live
+                heapq.heapify(heap)
+            self._cancelled = 0
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False when none remain."""
-        self._maybe_compact()
-        while self._heap:
-            time, __, item = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, __, item = pop(heap)
             if item.cancelled:
+                self._cancelled -= 1
                 continue
             if time < self.now:
                 raise SimulationError("event heap corrupted: time went backwards")
             self.now = time
+            item.cancelled = True  # consumed; a later cancel() is a no-op
             item.fn(*item.args)
             return True
         return False
@@ -126,15 +156,26 @@ class Engine:
             raise SimulationError("engine is not reentrant")
         self._running = True
         self._stopped = False
+        # Local bindings: this loop dominates every simulation's profile.
+        # compact() rewrites the heap in place, so the alias stays valid.
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap and not self._stopped:
-                head_time, __, head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+            while heap and not self._stopped:
+                time, __, item = heap[0]
+                if item.cancelled:
+                    pop(heap)
+                    self._cancelled -= 1
                     continue
-                if until is not None and head_time > until:
+                if until is not None and time > until:
                     break
-                self.step()
+                pop(heap)
+                if time < self.now:
+                    raise SimulationError(
+                        "event heap corrupted: time went backwards")
+                self.now = time
+                item.cancelled = True  # consumed
+                item.fn(*item.args)
             if until is not None and self.now < until and not self._stopped:
                 self.now = until
         finally:
@@ -147,8 +188,8 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the heap."""
-        return sum(1 for entry in self._heap if not entry[2].cancelled)
+        """Number of not-yet-cancelled events in the heap (O(1))."""
+        return len(self._heap) - self._cancelled
 
     def __repr__(self) -> str:
         return f"<Engine now={self.now:.1f}us pending={self.pending}>"

@@ -29,8 +29,16 @@ class TestCli:
     def test_parser_defaults(self):
         args = build_parser().parse_args([])
         assert args.series == "udp"
-        assert args.clients == 100
+        assert args.clients == [100]
         assert args.nice == -20
+        assert args.jobs is None
+        assert not args.no_cache
+
+    def test_parser_accepts_multiple_client_counts(self):
+        args = build_parser().parse_args(
+            ["--clients", "100", "500", "1000", "--jobs", "4"])
+        assert args.clients == [100, 500, 1000]
+        assert args.jobs == 4
 
     def test_parser_rejects_unknown_series(self):
         with pytest.raises(SystemExit):

@@ -30,6 +30,8 @@ class TestSctp:
         assert proxy.stats.idle_scans == 0
         assert proxy.stats.accepts == 0  # kernel-managed associations
 
+    @pytest.mark.slow
+
     def test_sctp_between_tcp_and_udp(self):
         """§6: SCTP keeps the symmetric architecture, so it should land
         near UDP and beat baseline TCP."""
@@ -56,10 +58,14 @@ class TestThreaded:
         __, proxy, __ = run_cell("tcp-threaded")
         assert proxy.stats.fd_requests == 0
 
+    @pytest.mark.slow
+
     def test_threaded_beats_process_tcp(self):
         __, __, procs = run_cell("tcp", clients=10, seed=4)
         __, __, threads = run_cell("tcp-threaded", clients=10, seed=4)
         assert threads.throughput_ops_s > procs.throughput_ops_s
+
+    @pytest.mark.slow
 
     def test_threaded_close_is_single_phase(self):
         bed = Testbed(seed=2)

@@ -53,10 +53,16 @@ def test_tiny_buffers_with_blocking_sends_deadlock():
     assert blocked_worker
 
 
+@pytest.mark.slow
+
+
 def test_ample_buffers_do_not_deadlock():
     bed, proxy, ops = attempt_run(blocking_send=True, ipc_capacity=256)
     assert ops > 0
     assert not supervisor_wedged(proxy)
+
+
+@pytest.mark.slow
 
 
 def test_nonblocking_supervisor_survives_tiny_buffers():

@@ -32,6 +32,9 @@ def test_fd_requests_flow_through_supervisor():
     assert proxy.stats.fd_requests > result.ops
 
 
+@pytest.mark.slow
+
+
 def test_fd_cache_eliminates_most_ipc():
     __, base_proxy, base = run_tcp(fd_cache=False, seed=5)
     __, cached_proxy, cached = run_tcp(fd_cache=True, seed=5)
@@ -48,6 +51,9 @@ def test_supervisor_at_nice0_is_slower():
     __, __, starved = run_tcp(supervisor_nice=0, workers=8, clients=10,
                               seed=7)
     assert starved.throughput_ops_s < elevated.throughput_ops_s
+
+
+@pytest.mark.slow
 
 
 def test_tcp_slower_than_udp_baseline():
@@ -73,6 +79,9 @@ def test_idle_scan_examines_whole_population():
     assert proxy.stats.idle_scans > 0
     assert proxy.stats.idle_scan_entries_examined >= \
         proxy.stats.idle_scans  # every pass touches every live conn
+
+
+@pytest.mark.slow
 
 
 def test_pq_touches_less_than_scan_under_churn():

@@ -85,6 +85,9 @@ def test_registration_happens_before_measurement():
     assert result.registration_failures == 0
 
 
+@pytest.mark.slow
+
+
 def test_sip_recovers_from_udp_loss():
     """Drop-inducing tiny receive buffer: the calls must still complete,
     repaired by SIP retransmission timers somewhere in the system (the

@@ -52,6 +52,30 @@ class TestPeriodicTimer:
         with pytest.raises(ValueError):
             PeriodicTimer(engine, 0.0, lambda: None)
 
+    def test_exception_in_callback_stops_timer(self, engine):
+        fired = []
+
+        def boom():
+            fired.append(engine.now)
+            raise RuntimeError("callback failed")
+
+        timer = PeriodicTimer(engine, 100.0, boom)
+        timer.start()
+        with pytest.raises(RuntimeError):
+            engine.run(until=1000.0)
+        # No zombie reschedule: the timer is stopped, nothing pending.
+        assert not timer.running
+        assert fired == [100.0]
+        engine.run(until=2000.0)
+        assert fired == [100.0]
+
+    def test_callback_may_stop_its_own_timer(self, engine):
+        timer = PeriodicTimer(engine, 100.0, lambda: timer.stop())
+        timer.start()
+        engine.run(until=1000.0)
+        assert not timer.running
+        assert engine.pending == 0
+
 
 class TestTickSource:
     def test_becomes_readable_each_period(self, engine):
@@ -113,6 +137,20 @@ class TestProxyStats:
         delta = stats.delta(snap)
         assert delta["messages_received"] == 15
         assert delta["accepts"] == 3
+
+    def test_snapshot_keeps_float_counters(self):
+        stats = ProxyStats()
+        stats.messages_received = 10
+        stats.cpu_busy_us = 123.5  # a future float-valued counter
+        snap = stats.snapshot()
+        assert snap["cpu_busy_us"] == 123.5
+        stats.cpu_busy_us = 200.0
+        assert stats.delta(snap)["cpu_busy_us"] == pytest.approx(76.5)
+
+    def test_snapshot_excludes_bools(self):
+        stats = ProxyStats()
+        stats.degraded = True  # flag, not a counter
+        assert "degraded" not in stats.snapshot()
 
     def test_fd_cache_hit_rate(self):
         stats = ProxyStats()

@@ -104,3 +104,36 @@ def test_pending_counts_uncancelled(engine):
     engine.schedule(2.0, lambda: None)
     h1.cancel()
     assert engine.pending == 1
+
+
+def test_cancel_after_fire_does_not_skew_pending(engine):
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    engine.run(until=1.5)
+    handle.cancel()  # already fired: must be a no-op
+    assert engine.pending == 1
+    engine.run()
+    assert engine.pending == 0
+
+
+def test_compaction_bounds_cancelled_heap_bloat(engine):
+    """Restart-style cancel churn must not grow the heap without bound."""
+    keep = engine.schedule(10_000.0, lambda: None)
+    for __ in range(4 * Engine.COMPACT_MIN):
+        engine.schedule(100.0, lambda: None).cancel()
+    assert len(engine._heap) <= Engine.COMPACT_MIN
+    assert engine.pending == 1
+    assert not keep.cancelled
+    engine.run()
+    assert engine.now == 10_000.0
+
+
+def test_compaction_preserves_event_order(engine):
+    order = []
+    handles = [engine.schedule(float(t), order.append, t)
+               for t in range(1, 2 * Engine.COMPACT_MIN)]
+    for handle in handles[1::2]:
+        handle.cancel()
+    engine.compact()
+    engine.run()
+    assert order == [t for t in range(1, 2 * Engine.COMPACT_MIN) if t % 2]
