@@ -6,11 +6,20 @@ Examples::
     python -m repro --series tcp-50 --clients 500 --fd-cache --idle pq
     python -m repro --series tcp-persistent --nice 0 --profile
     python -m repro --series tcp-50 --clients 100 500 1000 --jobs 4
+    python -m repro --series tcp-50 --trace trace.json
+    python -m repro --series tcp-50 --metrics cell.jsonl --sample-us 5000
 
 Cells are deterministic, so results are cached on disk
 (``benchmarks/results/.cache/``; see ``--no-cache``/``--clear-cache``).
 Passing several ``--clients`` values runs one cell per value, fanned
 across ``--jobs`` worker processes.
+
+``--trace FILE`` records the full message lifecycle (parse, transaction
+match, fd-passing IPC, sends) plus kernel events into a Chrome
+trace-event JSON viewable at https://ui.perfetto.dev; traced runs
+execute serially and bypass the result cache.  ``--metrics FILE`` writes
+the sampled time series (run-queue depth, fd-cache hit rate, CPU shares,
+...) as JSONL, one line per sample.
 """
 
 import argparse
@@ -18,7 +27,7 @@ import sys
 
 from repro.analysis.cache import ResultCache, default_cache_dir
 from repro.analysis.experiments import SERIES_DEF, ExperimentSpec
-from repro.analysis.runner import default_jobs, run_cells
+from repro.analysis.runner import CellOutcome, default_jobs, run_cells
 from repro.profiling.report import ProfileReport
 
 
@@ -45,6 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="measurement window, µs of simulated time")
     parser.add_argument("--profile", action="store_true",
                         help="print the simulated OProfile top functions")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of the run "
+                             "(open in Perfetto); runs serially, uncached")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="write sampled metric time series as JSONL "
+                             "(implies --sample-us default)")
+    parser.add_argument("--sample-us", type=float, default=None,
+                        metavar="US",
+                        help="metric sampling interval in simulated µs "
+                             "(default 10000 when sampling is on)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for multi-cell runs "
                              "(default: all cores; 1 = serial)")
@@ -66,6 +85,13 @@ def _print_cell(spec: ExperimentSpec, result, cached: bool,
     print(f"cpu:          {result.cpu_utilization * 100:.0f}% of 4 cores")
     print(f"calls:        {result.calls_completed} completed, "
           f"{result.calls_failed} failed")
+    for title, latency in (("setup lat:", result.setup_latency_us),
+                           ("proc lat:", result.processing_latency_us)):
+        if latency:
+            keys = ("p50", "p95", "p99", "p99.9", "mean")
+            summary = "  ".join(f"{key}={latency[key]:,.0f}µs"
+                                for key in keys if key in latency)
+            print(f"{title:<13} {summary}")
     interesting = {name: value for name, value in result.proxy_stats.items()
                    if value and name in (
                        "fd_requests", "fd_cache_hits", "retransmissions_sent",
@@ -73,10 +99,48 @@ def _print_cell(spec: ExperimentSpec, result, cached: bool,
                        "conns_closed_idle", "accept_failures")}
     if interesting:
         print(f"server:       {interesting}")
+    if result.metrics.get("samples"):
+        from repro.obs import TimelineReport
+        print()
+        print(TimelineReport(result.metrics,
+                             f"{spec.series}/{spec.clients} timeline")
+              .render())
     if profile:
         print()
         print(ProfileReport(result.profile, f"{spec.series} profile")
               .render(12))
+
+
+def _trace_path(base: str, spec: ExperimentSpec, multiple: bool) -> str:
+    """Per-cell output file: suffix the client count for multi-cell runs."""
+    if not multiple:
+        return base
+    stem, dot, ext = base.rpartition(".")
+    if not dot:
+        return f"{base}-{spec.clients}"
+    return f"{stem}-{spec.clients}.{ext}"
+
+
+def _run_traced(specs, trace_file: str):
+    """Serial, uncached execution path for traced cells (the live tracer
+    cannot cross the runner's process/cache boundary)."""
+    from repro.analysis.experiments import run_cell
+    from repro.obs import write_chrome_trace
+
+    outcomes = []
+    for spec in specs:
+        result = run_cell(spec)
+        path = _trace_path(trace_file, spec, multiple=len(specs) > 1)
+        count = write_chrome_trace(
+            path, result.tracer,
+            extra={"series": spec.series, "clients": spec.clients,
+                   "seed": spec.seed})
+        dropped = result.tracer.dropped
+        drop_note = f" ({dropped} dropped)" if dropped else ""
+        print(f"trace:        {path} ({count} events{drop_note})")
+        outcomes.append(CellOutcome(spec, result, elapsed_s=0.0,
+                                    cached=False))
+    return outcomes
 
 
 def main(argv=None) -> int:
@@ -86,6 +150,10 @@ def main(argv=None) -> int:
         removed = ResultCache().clear()
         print(f"cache:        cleared {removed} cached cells "
               f"({default_cache_dir()})")
+    sample_us = args.sample_us
+    if sample_us is None and args.metrics:
+        from repro.obs.metrics import DEFAULT_INTERVAL_US
+        sample_us = DEFAULT_INTERVAL_US
     specs = [ExperimentSpec(
         series=args.series,
         clients=clients,
@@ -96,9 +164,21 @@ def main(argv=None) -> int:
         seed=args.seed,
         measure_us=args.measure_us,
         profile=args.profile,
+        sample_us=sample_us,
+        trace=args.trace is not None,
     ) for clients in args.clients]
-    jobs = args.jobs if args.jobs is not None else default_jobs()
-    outcomes = run_cells(specs, jobs=jobs, cache=cache)
+    if args.trace:
+        outcomes = _run_traced(specs, args.trace)
+    else:
+        jobs = args.jobs if args.jobs is not None else default_jobs()
+        outcomes = run_cells(specs, jobs=jobs, cache=cache)
+    if args.metrics:
+        from repro.obs import write_metrics_jsonl
+        lines = write_metrics_jsonl(
+            args.metrics,
+            [(f"{o.spec.series}/{o.spec.clients}", o.result.metrics)
+             for o in outcomes])
+        print(f"metrics:      {args.metrics} ({lines} lines)")
     for index, outcome in enumerate(outcomes):
         if index:
             print()

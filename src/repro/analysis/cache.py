@@ -31,7 +31,8 @@ import pathlib
 from typing import Optional
 
 #: bump when simulator changes invalidate previously computed results
-SCHEMA_VERSION = 1
+#: (v2: results carry latency p99.9/mean keys and sampled metric series)
+SCHEMA_VERSION = 2
 
 #: default location, relative to the repository root (this file lives at
 #: ``<root>/src/repro/analysis/cache.py``)
@@ -51,6 +52,10 @@ def spec_payload(spec) -> Optional[dict]:
     """
     from repro.analysis.experiments import TIME_COMPRESSION, _scale
 
+    if getattr(spec, "trace", False):
+        # Traced runs exist for their live tracer, which a cached (or
+        # pickled) result cannot carry — never serve them from disk.
+        return None
     payload = {"schema": SCHEMA_VERSION,
                "scale": _scale(),
                "time_compression": TIME_COMPRESSION}

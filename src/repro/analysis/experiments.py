@@ -78,6 +78,12 @@ class ExperimentSpec:
     warmup_us: Optional[float] = None
     measure_us: Optional[float] = None
     profile: bool = False
+    #: sample time-series metrics every this many µs of simulated time
+    #: (None = no sampling); implies profiling so CPU-share series exist
+    sample_us: Optional[float] = None
+    #: record spans into a live tracer (``result.tracer``); trace results
+    #: cannot be cached or cross the parallel runner's process boundary
+    trace: bool = False
     costs: Optional[CostModel] = None
     stateful: bool = True
     server_fd_limit: int = 65536  # a tuned server (ulimit -n raised)
@@ -128,7 +134,12 @@ class ExperimentSpec:
 def run_cell(spec: ExperimentSpec) -> BenchmarkResult:
     """Run one cell; returns the client-measured result."""
     scale = _scale()
-    bed = Testbed(seed=spec.seed, profile=spec.profile,
+    # Sampling needs a profiler for the CPU-share series; the profiler
+    # only aggregates charged bursts, so enabling it never perturbs the
+    # simulation (sampled and unsampled cells produce identical numbers).
+    bed = Testbed(seed=spec.seed,
+                  profile=spec.profile or spec.sample_us is not None,
+                  trace=spec.trace,
                   server_fd_limit=spec.server_fd_limit)
     config = ProxyConfig(
         transport=spec.transport(),
@@ -154,9 +165,22 @@ def run_cell(spec: ExperimentSpec) -> BenchmarkResult:
         measure_us=measure_us,
     )
     manager = BenchmarkManager(bed, proxy, workload)
+    sampler = None
+    if spec.sample_us is not None:
+        from repro.obs import MetricSampler, register_standard_probes
+        sampler = MetricSampler(bed.engine, interval_us=spec.sample_us,
+                                profiler=bed.profiler)
+        register_standard_probes(sampler, bed, proxy)
+        sampler.start()
     result = manager.run()
+    if sampler is not None:
+        sampler.stop()
+        metrics = sampler.to_dict()
+        metrics["window_us"] = list(manager.measured_window)
+        result.metrics = metrics
     result.proxy = proxy  # expose server-side state to the harness
     result.testbed = bed
+    result.tracer = bed.tracer  # live; None unless spec.trace
     return result
 
 

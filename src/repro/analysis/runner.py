@@ -14,10 +14,13 @@ the single execution path for benchmarks, the CLI and tests:
 - graceful: ``jobs=1`` (the default) never touches ``multiprocessing``.
 
 Results cross the process boundary (and the disk cache) as plain dicts,
-so the live ``proxy``/``testbed`` objects a serial
+so the live ``proxy``/``testbed``/``tracer`` objects a serial
 :func:`~repro.analysis.experiments.run_cell` attaches are *not*
 available on runner results — use the serializable
-``proxy_totals``/``open_conns`` summaries instead.
+``proxy_totals``/``open_conns`` summaries instead.  Sampled metric
+series *do* survive (``result.metrics`` is plain JSON), but span traces
+do not: specs with ``trace=True`` are rejected here — run them through
+``run_cell`` directly (the CLI's ``--trace`` path does exactly that).
 """
 
 import dataclasses
@@ -85,6 +88,12 @@ def run_cells(specs: Iterable[ExperimentSpec],
     as results arrive, in deterministic order.
     """
     specs = list(specs)
+    for spec in specs:
+        if getattr(spec, "trace", False):
+            raise ValueError(
+                "trace=True cells need their live tracer, which cannot "
+                "cross the runner's process/cache boundary; call "
+                "repro.analysis.experiments.run_cell(spec) directly")
     if jobs is None:
         jobs = default_jobs()
     keys = [spec_key(spec) for spec in specs]

@@ -10,12 +10,28 @@ from typing import List, Optional
 
 from repro.clients.phone import Phone
 from repro.clients.workload import BenchmarkResult, Workload, percentiles
+from repro.obs.histogram import StreamingHistogram
 from repro.sim.events import Event
 from repro.sip.transaction import TransactionTimers
 
 CALLER_PORT_BASE = 20000
 CALLEE_PORT_BASE = 40000
 REGISTER_STAGGER_US = 200_000.0
+
+
+def _latency_summary(phones, list_attr: str, hist_attr: str):
+    """Percentiles+mean across phones, exact when every raw sample was
+    retained; from the merged streaming histograms once any phone
+    overflowed its per-phone cap (large runs no longer sort everything).
+    """
+    samples = [s for p in phones for s in getattr(p, list_attr)]
+    hists = [getattr(p, hist_attr) for p in phones]
+    if sum(h.count for h in hists) > len(samples):
+        merged = StreamingHistogram()
+        for hist in hists:
+            merged.merge(hist)
+        return merged.percentiles()
+    return percentiles(samples)
 
 
 class BenchmarkManager:
@@ -32,6 +48,7 @@ class BenchmarkManager:
         self.go_event = Event(self.engine, name="manager.go")
         self.callers: List[Phone] = []
         self.callees: List[Phone] = []
+        self.measured_window: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def setup_phones(self) -> None:
@@ -94,6 +111,9 @@ class BenchmarkManager:
                     if self.testbed.profiler is not None else {})
         engine.run(until=t0 + self.workload.measure_us)
         duration = engine.now - t0
+        #: the measured window in simulated time, for windowing sampled
+        #: metric series (e.g. :func:`repro.obs.metrics.series_window_mean`)
+        self.measured_window = (t0, engine.now)
         ops = self._total_ops() - ops0
         profile = (self.testbed.profiler.delta(profile0)
                    if self.testbed.profiler is not None else {})
@@ -110,9 +130,10 @@ class BenchmarkManager:
                 busy0, duration),
             proxy_stats=self.proxy.stats.delta(stats0),
             profile=profile,
-            setup_latency_us=percentiles(
-                [sample for phone in self.callers
-                 for sample in phone.setup_latencies_us]),
+            setup_latency_us=_latency_summary(
+                self.callers, "setup_latencies_us", "setup_hist"),
+            processing_latency_us=_latency_summary(
+                self.callers, "processing_latencies_us", "processing_hist"),
             proxy_totals=self.proxy.stats.snapshot(),
             open_conns=len(getattr(self.proxy, "conn_table", ())),
         )

@@ -18,6 +18,7 @@ port so the proxy can dial in when no live connection remains.
 
 from typing import Dict, Optional
 
+from repro.obs.histogram import StreamingHistogram
 from repro.net.sctp import SctpEndpoint
 from repro.net.tcp import TcpError, TcpListener, connect as tcp_connect
 from repro.net.udp import UdpEndpoint
@@ -94,7 +95,15 @@ class Phone:
         self.retransmissions = 0    #: UAC request retransmissions sent
         #: call-setup times (INVITE sent → 2xx received), µs; bounded
         self.setup_latencies_us = []
+        #: BYE round-trip times (request sent → 2xx), µs; bounded.  No
+        #: ring/hold delay is involved, so this is pure proxy processing
+        #: plus network time.
+        self.processing_latencies_us = []
         self._latency_cap = 4096
+        #: unbounded streaming counterparts: O(buckets) memory, so runs
+        #: past the raw-sample cap still report accurate percentiles
+        self.setup_hist = StreamingHistogram()
+        self.processing_hist = StreamingHistogram()
         self.handled_ops = 0        #: callee: transactions it served
         self._ops_on_conn = 0
         self._client_txns: Dict[str, ClientTransaction] = {}
@@ -282,8 +291,10 @@ class Phone:
             self.calls_failed += 1
             yield Sleep(10_000.0)  # brief backoff after a failed call
             return
+        setup_us = self.engine.now - invite_sent_at
+        self.setup_hist.add(setup_us)
         if len(self.setup_latencies_us) < self._latency_cap:
-            self.setup_latencies_us.append(self.engine.now - invite_sent_at)
+            self.setup_latencies_us.append(setup_us)
         self._count_op()
         ack = self.builder.ack_for(invite, final)
         self._send_text(ack.render())
@@ -291,10 +302,15 @@ class Phone:
         if self.call_hold_us > 0:
             yield Sleep(self.call_hold_us)
         bye = self.builder.bye(dialog)
+        bye_sent_at = self.engine.now
         final = yield from self._run_client_txn(bye)
         if final is None or not final.is_success:
             self.calls_failed += 1
             return
+        processing_us = self.engine.now - bye_sent_at
+        self.processing_hist.add(processing_us)
+        if len(self.processing_latencies_us) < self._latency_cap:
+            self.processing_latencies_us.append(processing_us)
         self._count_op()
         self.calls_completed += 1
         yield from self._maybe_reconnect()

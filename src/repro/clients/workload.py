@@ -54,12 +54,19 @@ class BenchmarkResult:
     cpu_utilization: float
     proxy_stats: Dict[str, int] = field(default_factory=dict)
     profile: Dict[str, float] = field(default_factory=dict)
-    #: call-setup latency percentiles (µs): {"p50": ..., "p95": ..., "p99": ...}
+    #: call-setup latency (INVITE → 2xx) percentiles+mean, µs:
+    #: {"p50": ..., "p95": ..., "p99": ..., "p99.9": ..., "mean": ...}
     setup_latency_us: Dict[str, float] = field(default_factory=dict)
+    #: request-processing latency (BYE → 2xx; no ring delay) — same shape
+    processing_latency_us: Dict[str, float] = field(default_factory=dict)
     #: cumulative proxy counters at the end of the run (not windowed)
     proxy_totals: Dict[str, float] = field(default_factory=dict)
     #: connection-table population at the end of the run (0 for UDP)
     open_conns: int = 0
+    #: serialized :meth:`repro.obs.MetricSampler.to_dict` series (empty
+    #: unless the cell sampled metrics); plain JSON, so it survives the
+    #: runner's process boundary and the disk cache
+    metrics: Dict = field(default_factory=dict)
 
     def __repr__(self) -> str:
         return (f"<BenchmarkResult {self.throughput_ops_s:.0f} ops/s "
@@ -67,8 +74,13 @@ class BenchmarkResult:
                 f"util={self.cpu_utilization:.2f})>")
 
 
-def percentiles(samples, points=(50, 95, 99)) -> Dict[str, float]:
-    """Nearest-rank percentiles of ``samples`` (empty dict if no samples)."""
+def percentiles(samples, points=(50, 95, 99, 99.9)) -> Dict[str, float]:
+    """Nearest-rank percentiles plus ``mean`` (empty dict if no samples).
+
+    Keys render compactly (``p99.9``, not ``p99.90``); the shape matches
+    :meth:`repro.obs.StreamingHistogram.percentiles` so exact and
+    streaming summaries are interchangeable downstream.
+    """
     if not samples:
         return {}
     ordered = sorted(samples)
@@ -76,5 +88,6 @@ def percentiles(samples, points=(50, 95, 99)) -> Dict[str, float]:
     for point in points:
         rank = max(0, min(len(ordered) - 1,
                           math.ceil(point / 100.0 * len(ordered)) - 1))
-        out[f"p{point}"] = ordered[rank]
+        out[f"p{point:g}"] = ordered[rank]
+    out["mean"] = sum(ordered) / len(ordered)
     return out

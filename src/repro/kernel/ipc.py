@@ -107,6 +107,10 @@ class IpcEndpoint:
         while self._out.full:
             if self.blocked_sending_since is None:
                 self.blocked_sending_since = self._engine.now
+                tracer = self.channel.tracer
+                if tracer is not None:
+                    tracer.instant("ipc_send_blocked", cat="ipc",
+                                   who=self.name, kind=msg.kind)
             yield Wait(self._out.writable_signal)
         self.blocked_sending_since = None
         self._enqueue(msg)
@@ -164,15 +168,23 @@ class IpcChannel:
     equivalent observable behaviour for fixed-size control messages).
     """
 
-    def __init__(self, engine, capacity: int = 64, name: str = "ipc") -> None:
+    def __init__(self, engine, capacity: int = 64, name: str = "ipc",
+                 tracer=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.engine = engine
         self.name = name
+        #: optional span tracer (endpoints reach it via the channel; a
+        #: None tracer keeps the blocking paths emission-free)
+        self.tracer = tracer
         a_to_b = _Direction(engine, capacity, f"{name}.a2b")
         b_to_a = _Direction(engine, capacity, f"{name}.b2a")
         self.a = IpcEndpoint(self, a_to_b, b_to_a, f"{name}.a")
         self.b = IpcEndpoint(self, b_to_a, a_to_b, f"{name}.b")
+
+    def pending_total(self) -> int:
+        """Messages queued in both directions (the sampler's depth gauge)."""
+        return self.a.pending() + self.b.pending()
 
     def __repr__(self) -> str:
         return f"<IpcChannel {self.name}>"

@@ -50,6 +50,9 @@ class SpinLock:
         self.yield_syscall_us = yield_syscall_us
         self.held = False
         self.owner: Optional[str] = None
+        #: optional span tracer (spans only on the contended path, so the
+        #: uncontended fast path stays emission-free)
+        self.tracer = None
         #: statistics
         self.acquisitions = 0
         self.contentions = 0
@@ -59,8 +62,14 @@ class SpinLock:
         """Generator: spin (burning CPU) until the lock is ours."""
         yield Compute(self.try_us, f"lock.{self.name}.acquire")
         contended = False
+        span = None
         while self.held:
-            contended = True
+            if not contended:
+                contended = True
+                if self.tracer is not None:
+                    span = self.tracer.begin("lock_spin", cat="kernel",
+                                             who=who, lock=self.name,
+                                             holder=self.owner)
             spun = 0
             while self.held and spun < self.spins_before_yield:
                 yield Compute(self.spin_us, f"lock.{self.name}.spin")
@@ -71,6 +80,8 @@ class SpinLock:
                 yield YieldCPU()
         if contended:
             self.contentions += 1
+            if span is not None:
+                self.tracer.end(span)
         self.held = True
         self.owner = who
         self.acquisitions += 1

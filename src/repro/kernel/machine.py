@@ -27,6 +27,7 @@ class Machine:
         quantum_us: float = 2000.0,
         ctx_switch_us: float = 1.5,
         profiler=None,
+        tracer=None,
         fd_limit: int = 1024,
         ephemeral_ports: int = 28232,
         time_wait_us: float = 60_000_000.0,
@@ -35,10 +36,14 @@ class Machine:
         self.name = name
         self.address = name  # the fabric addresses machines by name
         self.profiler = profiler
+        #: optional span tracer, propagated to the scheduler and read by
+        #: the proxy architectures (None = tracing off, zero overhead)
+        self.tracer = tracer
         self.scheduler = Scheduler(engine, n_cores=n_cores,
                                    quantum_us=quantum_us,
                                    ctx_switch_us=ctx_switch_us,
-                                   profiler=profiler)
+                                   profiler=profiler,
+                                   tracer=tracer)
         self.fd_limit = fd_limit
         self.tcp_ports = PortAllocator(
             engine, lo=32768, hi=32768 + ephemeral_ports,

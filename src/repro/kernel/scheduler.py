@@ -79,6 +79,7 @@ class Scheduler:
         o1_timeslice_us: float = 60_000.0,
         o1_park_us: float = 60_000.0,
         profiler=None,
+        tracer=None,
     ) -> None:
         if n_cores < 1:
             raise ValueError("need at least one core")
@@ -101,6 +102,9 @@ class Scheduler:
         self.o1_timeslice_us = o1_timeslice_us
         self.o1_park_us = o1_park_us
         self.profiler = profiler
+        #: optional span tracer; every hook below guards on None so the
+        #: untraced hot path costs one attribute load and a branch
+        self.tracer = tracer
         self._runqueue: List[tuple] = []  # (vruntime, seq, proc)
         self._seq = 0
         self._min_vruntime = 0.0
@@ -131,6 +135,10 @@ class Scheduler:
         proc.cpu_debt = 0.0
         proc.sleep_credit = 0.0
         proc.epochs_parked += 1
+        if self.tracer is not None:
+            # The §4.3 starvation ingredient, visible per-process.
+            self.tracer.instant("o1_park", cat="kernel", who=proc.name,
+                                park_us=self.o1_park_us)
         self.engine.schedule(self.o1_park_us, self._unpark, proc)
 
     def _push_ready(self, proc: "KernelProcess") -> None:
@@ -264,6 +272,9 @@ class Scheduler:
             core.busy_us += core.ctx_pending
             self._charge(proc, core.ctx_pending, "kernel.context_switch")
             core.ctx_pending = 0.0
+            if self.tracer is not None:
+                self.tracer.instant("context_switch", cat="kernel",
+                                    who=proc.name, core=core.index)
 
     def _slice_end(self, core: _Core, proc: "KernelProcess") -> None:
         if core.current is not proc:

@@ -1,0 +1,53 @@
+"""Observability: end-to-end tracing and time-series metrics.
+
+The paper's contribution is *explanatory* — OProfile samples showing that
+TCP's collapse comes from supervisor fd-passing IPC and idle-scan lock
+contention.  The aggregate profile (:mod:`repro.profiling`) reproduces
+the shares; this package reproduces the *mechanism view*:
+
+- :class:`~repro.obs.tracer.Tracer` records begin/end spans keyed to
+  simulated time for the full message lifecycle (recv → parse →
+  transaction match → supervisor IPC round trip → fd-cache lookup →
+  send) plus kernel events (context switches, lock spins), bounded by a
+  ring buffer so million-op runs stay bounded;
+- :class:`~repro.obs.metrics.MetricSampler` snapshots gauges (run-queue
+  length, open connections, fd-table occupancy, IPC queue depth,
+  fd-cache hit rate, idle-scan cost) and counter rates into
+  fixed-interval series, with per-interval CPU-share series that turn
+  the paper's 12.0% → 4.6% IPC claim into a time series;
+- :class:`~repro.obs.histogram.StreamingHistogram` provides log-bucketed
+  latency distributions so percentile reporting no longer sorts every
+  sample on large runs;
+- :mod:`~repro.obs.chrome_trace` exports Perfetto-viewable Chrome
+  trace-event JSON, :mod:`~repro.obs.metrics` writes metrics JSONL, and
+  :class:`~repro.obs.timeline.TimelineReport` renders series as text
+  alongside :class:`~repro.profiling.report.ProfileReport`.
+
+Every instrumentation hook in the simulator is a no-op when no tracer is
+attached (a ``tracer is None`` guard on the hot path), so the PR 1
+engine optimisations are preserved for untraced runs.
+"""
+
+from repro.obs.chrome_trace import to_chrome_events, write_chrome_trace
+from repro.obs.histogram import StreamingHistogram
+from repro.obs.metrics import (
+    IPC_LABELS,
+    MetricSampler,
+    register_standard_probes,
+    write_metrics_jsonl,
+)
+from repro.obs.timeline import TimelineReport
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "IPC_LABELS",
+    "MetricSampler",
+    "Span",
+    "StreamingHistogram",
+    "TimelineReport",
+    "Tracer",
+    "register_standard_probes",
+    "to_chrome_events",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]

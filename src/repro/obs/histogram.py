@@ -1,0 +1,148 @@
+"""Log-bucketed streaming latency histograms.
+
+``percentiles()`` in :mod:`repro.clients.workload` sorts every retained
+sample — fine for the bounded per-phone sample lists, wrong for
+million-operation runs.  :class:`StreamingHistogram` records values into
+geometrically-spaced buckets (default 5% resolution), so memory is
+O(buckets), inserts are O(1), and any percentile is recoverable to
+within one bucket's relative width.
+
+Histograms merge (per-phone → per-run) and serialize to plain dicts, so
+they survive the result cache and the parallel runner's process boundary
+like every other :class:`~repro.clients.workload.BenchmarkResult` field.
+"""
+
+import math
+from typing import Dict, Iterable, Optional
+
+#: default relative bucket width (5% ⇒ percentile error ≤ ~5%)
+DEFAULT_RESOLUTION = 0.05
+
+
+class StreamingHistogram:
+    """Streaming histogram with geometric buckets for positive values.
+
+    Non-positive values (a zero-latency sample is possible at simulated
+    instants) are counted in a dedicated underflow bucket valued 0.
+    """
+
+    __slots__ = ("base", "_inv_log_base", "buckets", "count", "total",
+                 "min", "max", "zeros")
+
+    def __init__(self, resolution: float = DEFAULT_RESOLUTION) -> None:
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.base = 1.0 + resolution
+        self._inv_log_base = 1.0 / math.log(self.base)
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.zeros = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = math.floor(math.log(value) * self._inv_log_base)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold ``other`` into this histogram (resolutions must match)."""
+        if abs(other.base - self.base) > 1e-12:
+            raise ValueError("cannot merge histograms with different "
+                             f"resolutions ({self.base} vs {other.base})")
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.zeros += other.zeros
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, point: float) -> float:
+        """Estimated value at percentile ``point`` (0 < point ≤ 100)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, min(self.count,
+                          math.ceil(point / 100.0 * self.count)))
+        if rank <= self.zeros:
+            return 0.0
+        seen = self.zeros
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                # Geometric midpoint of the bucket, clamped to observed
+                # extremes so p0/p100 never overshoot the data.
+                value = self.base ** (index + 0.5)
+                if self.max is not None:
+                    value = min(value, self.max)
+                if self.min is not None:
+                    value = max(value, self.min)
+                return value
+        return self.max if self.max is not None else 0.0
+
+    def percentiles(self, points=(50, 95, 99, 99.9)) -> Dict[str, float]:
+        """Same shape as :func:`repro.clients.workload.percentiles`."""
+        if not self.count:
+            return {}
+        out = {f"p{point:g}": self.percentile(point) for point in points}
+        out["mean"] = self.mean
+        return out
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "resolution": self.base - 1.0,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "zeros": self.zeros,
+            "buckets": {str(index): n for index, n in self.buckets.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "StreamingHistogram":
+        hist = cls(resolution=payload["resolution"])
+        hist.count = payload["count"]
+        hist.total = payload["total"]
+        hist.min = payload["min"]
+        hist.max = payload["max"]
+        hist.zeros = payload["zeros"]
+        hist.buckets = {int(index): n
+                        for index, n in payload["buckets"].items()}
+        return hist
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"<StreamingHistogram n={self.count} "
+                f"mean={self.mean:.1f} buckets={len(self.buckets)}>")

@@ -3,6 +3,25 @@
 from typing import Dict, Optional
 
 
+def _delta(current: Dict[str, float], earlier: Dict[str, float],
+           kind: str) -> Dict[str, float]:
+    """Positive growth per key since ``earlier``.
+
+    Totals only ever grow, so a decrease means the snapshot predates a
+    :meth:`Profiler.reset` — a silent zero there would corrupt any
+    windowed share computation, so it raises instead.
+    """
+    stale = [key for key, total in earlier.items()
+             if current.get(key, 0.0) < total]
+    if stale:
+        raise ValueError(
+            f"stale profiler snapshot: {kind} totals decreased for "
+            f"{sorted(stale)[:3]} (profiler was reset after the snapshot)")
+    return {key: total - earlier.get(key, 0.0)
+            for key, total in current.items()
+            if total - earlier.get(key, 0.0) > 0.0}
+
+
 class Profiler:
     """Aggregates simulated CPU time per function label.
 
@@ -28,10 +47,14 @@ class Profiler:
     def snapshot(self) -> Dict[str, float]:
         return dict(self.by_label)
 
+    def snapshot_processes(self) -> Dict[str, float]:
+        return dict(self.by_process)
+
     def delta(self, earlier: Dict[str, float]) -> Dict[str, float]:
-        return {label: total - earlier.get(label, 0.0)
-                for label, total in self.by_label.items()
-                if total - earlier.get(label, 0.0) > 0.0}
+        return _delta(self.by_label, earlier, "label")
+
+    def delta_processes(self, earlier: Dict[str, float]) -> Dict[str, float]:
+        return _delta(self.by_process, earlier, "process")
 
     def share(self, label: str) -> float:
         """Fraction of all profiled CPU time spent in ``label``."""

@@ -40,7 +40,7 @@ class ProfileReport:
 
     def render(self, n: int = 15, kernel_only: bool = False) -> str:
         rows = top_functions(self.samples, n=n, kernel_only=kernel_only)
-        width = max((len(label) for label, __, __ in rows), default=10)
+        width = max([len("function")] + [len(label) for label, __, __ in rows])
         lines = [f"== {self.title} ==",
                  f"{'function':<{width}}  {'cpu (ms)':>10}  {'share':>7}"]
         for label, us, share in rows:

@@ -22,12 +22,18 @@ class BaseProxyServer:
         self.costs = costs or CostModel()
         self.stats = ProxyStats()
         self.location = LocationService()
+        #: span tracer inherited from the machine (None = tracing off)
+        self.tracer = getattr(machine, "tracer", None)
         self.txn_table = TransactionTable(self.costs,
                                           buckets=config.shm_buckets)
         self.timer_list = TimerList(self.costs)
         self.core = ProxyCore(self.engine, config, self.costs, self.location,
                               self.txn_table, self.timer_list, self.stats,
                               via_host=machine.name)
+        if self.tracer is not None:
+            self.core.tracer = self.tracer
+            self.txn_table.lock.tracer = self.tracer
+            self.timer_list.lock.tracer = self.tracer
         self.processes: List = []
         self.started = False
 
@@ -54,13 +60,19 @@ class BaseProxyServer:
     # for TCP)
     # ------------------------------------------------------------------
     def _timer_body(self):
+        tracer = self.tracer
+        who = f"{self.machine.name}/timer-proc"
         while True:
             yield Sleep(self.config.timer_tick_us)
             # The limit must outrun the insertion rate (one rtx + one GC
             # entry per transaction) or the expired backlog — and with it
             # the transaction table — grows without bound.
+            span = (tracer.begin("timer_fire", cat="kernel", who=who)
+                    if tracer is not None else None)
             actions = yield from self.core.timer_pass(limit=8192,
                                                       who="timer")
+            if span is not None:
+                tracer.end(span.set(retransmits=len(actions)))
             for action in actions:
                 yield from self._timer_send(action)
 

@@ -39,21 +39,47 @@ class ProxyCore:
         self.via_port = config.port
         self._branch_counter = 0
         self._pending_register_contact = None
+        #: optional span tracer (set by BaseProxyServer when tracing)
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # entry point
     # ------------------------------------------------------------------
     def process(self, text: str, source, who: str = "worker"):
         """Generator: handle one received message; returns [SendAction]."""
+        tracer = self.tracer
+        if tracer is None:
+            return (yield from self._process(text, source, who))
+        span = tracer.begin("process_msg", cat="proxy",
+                            who=f"{self.via_host}/{who}",
+                            transport=self.config.transport)
+        try:
+            actions = yield from self._process(text, source, who, span)
+        finally:
+            tracer.end(span)
+        span.set(actions=len(actions))
+        return actions
+
+    def _process(self, text: str, source, who: str, span=None):
         self._pending_register_contact = None
         self.stats.messages_received += 1
+        parse_span = (self.tracer.begin("parse_msg", cat="proxy",
+                                        who=f"{self.via_host}/{who}")
+                      if span is not None else None)
         yield Compute(self.costs.parse_cost(len(text), len(self.location)),
                       "parse_msg")
         try:
             message = parse_message(text)
         except SipParseError:
             self.stats.parse_errors += 1
+            if parse_span is not None:
+                self.tracer.end(parse_span.set(error="parse"))
             return []
+        if parse_span is not None:
+            self.tracer.end(parse_span)
+            span.set(call_id=message.call_id,
+                     kind=(message.method if message.is_request
+                           else f"{message.status}"))
         if message.is_request:
             return (yield from self._process_request(message, source, who))
         return (yield from self._process_response(message, source, who))
@@ -104,7 +130,14 @@ class ProxyCore:
     def _process_relay(self, request: SipRequest, source,
                        who: str) -> List[SendAction]:
         upstream_key = request.transaction_key()
+        tracer = self.tracer
+        match_span = (tracer.begin("txn_match", cat="proxy",
+                                   who=f"{self.via_host}/{who}",
+                                   method=request.method)
+                      if tracer is not None else None)
         txn = yield from self.txn_table.lookup_upstream(upstream_key, who)
+        if match_span is not None:
+            tracer.end(match_span.set(hit=txn is not None))
         if txn is not None:
             # A retransmission from the caller: the stateful proxy absorbs
             # it and replays the best response it has (§2).

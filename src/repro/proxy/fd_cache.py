@@ -24,6 +24,9 @@ class FdCache:
         self.fdtable = fdtable
         self.who = who
         self._entries: Dict[int, Tuple[int, ConnRecord]] = {}
+        #: optional span tracer (evictions only — probes are traced by
+        #: the caller, which knows the send context)
+        self.tracer = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -70,6 +73,9 @@ class FdCache:
     def _evict(self, conn_id: int, fd: int) -> None:
         del self._entries[conn_id]
         self.evictions += 1
+        if self.tracer is not None:
+            self.tracer.instant("fd_cache_evict", cat="proxy", who=self.who,
+                                conn=conn_id)
         if fd in self.fdtable:
             self.fdtable.close(fd)
 

@@ -70,6 +70,15 @@ class TcpProxyServer(BaseProxyServer):
         self._worker_procs: List = []
         self._sup_proc = None
         self._assign_rr = 0
+        tracer = self.tracer
+        if tracer is not None:
+            for chan in self.assign_chans + self.req_chans:
+                chan.tracer = tracer
+            self.conn_table.lock.tracer = tracer
+            self.idle.tracer = tracer
+            idle_lock = getattr(self.idle, "lock", None)
+            if idle_lock is not None:
+                idle_lock.tracer = tracer
 
     def _spawn_processes(self) -> None:
         self._sup_proc = self.machine.spawn(
@@ -141,6 +150,10 @@ class TcpProxyServer(BaseProxyServer):
         self.stats.conns_created += 1
         worker = self._assign_rr % self.config.workers
         self._assign_rr += 1
+        if self.tracer is not None:
+            self.tracer.instant("tcp_accept", cat="proxy",
+                                who=f"{self.machine.name}/{who}",
+                                worker=worker)
         record = yield from self.conn_table.insert(conn, desc, worker,
                                                    self.engine.now, who)
         record.sup_fd = sup_fd
@@ -162,6 +175,11 @@ class TcpProxyServer(BaseProxyServer):
         if msg.kind == "fd-req":
             record: ConnRecord = msg.payload
             self.stats.fd_requests += 1
+            tracer = self.tracer
+            span = (tracer.begin("tcpconn_send_fd", cat="ipc",
+                                 who=f"{self.machine.name}/{who}",
+                                 conn=record.conn_id)
+                    if tracer is not None else None)
             yield Compute(self.costs.fd_request_cost(len(self.conn_table)) +
                           self.costs.fd_dup_us, "tcpconn_send_fd")
             if record.closed or record.desc.closed:
@@ -172,6 +190,8 @@ class TcpProxyServer(BaseProxyServer):
             yield Compute(self.costs.ipc_send_us, "ipc_send")
             if not endpoint.try_send(reply):
                 yield from endpoint.send(reply)
+            if span is not None:
+                tracer.end(span.set(gone=reply.kind == "fd-gone"))
         elif msg.kind == "release":
             record = msg.payload
             self.stats.conns_released_by_worker += 1
@@ -206,6 +226,8 @@ class TcpProxyServer(BaseProxyServer):
         proc = self._worker_procs[index]
         fdtable = proc.fdtable
         cache = FdCache(fdtable, who) if self.config.fd_cache else None
+        if cache is not None and self.tracer is not None:
+            cache.tracer = self.tracer
         self.fd_caches[index] = cache
         assign_ep = self.assign_chans[index].b
         req_ep = self.req_chans[index].a
@@ -348,11 +370,18 @@ class TcpProxyServer(BaseProxyServer):
 
     def _send_on_record(self, ctx: "_WorkerCtx", record: ConnRecord,
                         text: str):
+        tracer = self.tracer
+        span = (tracer.begin("worker_send", cat="proxy",
+                             who=f"{self.machine.name}/{ctx.who}",
+                             conn=record.conn_id)
+                if tracer is not None else None)
         oc = ctx.owned.get(record.conn)
         close_after = False
         fd: Optional[int] = None
         if oc is not None:
             fd = oc.fd  # we own it; our reader fd works for writing too
+            if span is not None:
+                span.set(fd_via="owned")
         else:
             if ctx.cache is not None:
                 yield Compute(self.costs.fd_cache_probe_us, "fd_cache_lookup")
@@ -361,15 +390,26 @@ class TcpProxyServer(BaseProxyServer):
                     self.stats.fd_cache_hits += 1
                 else:
                     self.stats.fd_cache_misses += 1
+                if span is not None:
+                    tracer.instant(
+                        "fd_cache_hit" if fd is not None else "fd_cache_miss",
+                        cat="proxy", who=f"{self.machine.name}/{ctx.who}",
+                        conn=record.conn_id)
             if fd is None:
+                if span is not None:
+                    span.set(fd_via="supervisor")
                 fd = yield from self._request_fd(ctx, record)
                 if fd is None:
                     self.stats.send_failures += 1
+                    if span is not None:
+                        tracer.end(span.set(outcome="fd_gone"))
                     return
                 if ctx.cache is not None:
                     ctx.cache.store(record, fd)
                 else:
                     close_after = True
+            elif span is not None:
+                span.set(fd_via="cache")
         yield Compute(self.costs.tcp_send_us, "tcp_send")
         sent = record.conn.try_send(text)
         if not sent:
@@ -388,13 +428,22 @@ class TcpProxyServer(BaseProxyServer):
             # immediately close the descriptor we just fetched.
             yield Compute(self.costs.fd_close_us, "tcp_close_fd")
             ctx.fdtable.close(fd)
+        if span is not None:
+            tracer.end(span.set(outcome="sent" if sent else "failed"))
 
     def _request_fd(self, ctx: "_WorkerCtx", record: ConnRecord):
         """Generator: the §3.1 IPC round trip — the worker blocks."""
+        tracer = self.tracer
+        span = (tracer.begin("fd_request_rtt", cat="ipc",
+                             who=f"{self.machine.name}/{ctx.who}",
+                             conn=record.conn_id)
+                if tracer is not None else None)
         yield Compute(self.costs.ipc_send_us, "ipc_send_fd_request")
         yield from ctx.req_ep.send(IpcMessage("fd-req", payload=record))
         reply = yield from ctx.req_ep.recv()
         yield Compute(self.costs.ipc_recv_us, "ipc_recv")
+        if span is not None:
+            tracer.end(span.set(gone=reply.kind != "fd-resp"))
         if reply.kind != "fd-resp" or reply.fd is None:
             return None
         yield Compute(self.costs.fd_install_us, "receive_fd")

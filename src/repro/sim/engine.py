@@ -74,6 +74,9 @@ class Engine:
         self._stopped = False
         #: exact number of cancelled entries still sitting in the heap
         self._cancelled = 0
+        #: events executed so far (observability gauge; updated from a
+        #: local accumulator so the fire loop stays attribute-free)
+        self.events_fired = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -141,6 +144,7 @@ class Engine:
                 raise SimulationError("event heap corrupted: time went backwards")
             self.now = time
             item.cancelled = True  # consumed; a later cancel() is a no-op
+            self.events_fired += 1
             item.fn(*item.args)
             return True
         return False
@@ -158,8 +162,11 @@ class Engine:
         self._stopped = False
         # Local bindings: this loop dominates every simulation's profile.
         # compact() rewrites the heap in place, so the alias stays valid.
+        # The fired counter stays local for the same reason and is flushed
+        # on exit; mid-run samplers read `events_scheduled` instead.
         heap = self._heap
         pop = heapq.heappop
+        fired = 0
         try:
             while heap and not self._stopped:
                 time, __, item = heap[0]
@@ -175,11 +182,13 @@ class Engine:
                         "event heap corrupted: time went backwards")
                 self.now = time
                 item.cancelled = True  # consumed
+                fired += 1
                 item.fn(*item.args)
             if until is not None and self.now < until and not self._stopped:
                 self.now = until
         finally:
             self._running = False
+            self.events_fired += fired
         return self.now
 
     def stop(self) -> None:
@@ -190,6 +199,12 @@ class Engine:
     def pending(self) -> int:
         """Number of not-yet-cancelled events in the heap (O(1))."""
         return len(self._heap) - self._cancelled
+
+    @property
+    def events_scheduled(self) -> int:
+        """Events ever scheduled (O(1); exact even mid-run, unlike
+        :attr:`events_fired` which flushes when :meth:`run` exits)."""
+        return self._seq
 
     def __repr__(self) -> str:
         return f"<Engine now={self.now:.1f}us pending={self.pending}>"

@@ -9,6 +9,7 @@ from typing import List, Optional
 
 from repro.kernel.machine import Machine
 from repro.net.fabric import Fabric
+from repro.obs.tracer import Tracer
 from repro.profiling.profiler import Profiler
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
@@ -33,15 +34,23 @@ class Testbed:
         quantum_us: float = 2000.0,
         time_wait_us: float = 60_000_000.0,
         profile: bool = False,
+        trace: bool = False,
+        trace_capacity: Optional[int] = None,
     ) -> None:
         self.engine = Engine()
         self.rng = RngStreams(seed)
         self.profiler = Profiler(self.engine) if profile else None
+        if trace:
+            self.tracer = (Tracer(self.engine, capacity=trace_capacity)
+                           if trace_capacity else Tracer(self.engine))
+        else:
+            self.tracer = None
         self.fabric = Fabric(self.engine, latency_us=latency_us,
                              bandwidth_bytes_per_us=bandwidth_bytes_per_us,
                              rng=self.rng.stream("net"))
         self.server = Machine(self.engine, SERVER_NAME, n_cores=server_cores,
                               quantum_us=quantum_us, profiler=self.profiler,
+                              tracer=self.tracer,
                               fd_limit=server_fd_limit,
                               time_wait_us=time_wait_us)
         self.fabric.attach(self.server)

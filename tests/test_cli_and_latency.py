@@ -11,7 +11,9 @@ class TestPercentiles:
         assert percentiles([]) == {}
 
     def test_single_sample(self):
-        assert percentiles([42.0]) == {"p50": 42.0, "p95": 42.0, "p99": 42.0}
+        assert percentiles([42.0]) == {"p50": 42.0, "p95": 42.0,
+                                       "p99": 42.0, "p99.9": 42.0,
+                                       "mean": 42.0}
 
     def test_ordering_irrelevant(self):
         samples = [5.0, 1.0, 3.0, 2.0, 4.0]
@@ -23,6 +25,8 @@ class TestPercentiles:
         out = percentiles(samples)
         assert out["p99"] == 99
         assert out["p50"] == 50
+        assert out["p99.9"] == 100
+        assert out["mean"] == pytest.approx(50.5)
 
 
 class TestCli:
@@ -71,7 +75,13 @@ def test_benchmark_result_carries_latency_percentiles():
         bed, proxy, Workload(clients=4, warmup_us=20_000.0,
                              measure_us=60_000.0)).run()
     latency = result.setup_latency_us
-    assert set(latency) == {"p50", "p95", "p99"}
-    assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+    assert set(latency) == {"p50", "p95", "p99", "p99.9", "mean"}
+    assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"] \
+        <= latency["p99.9"]
     # Setup includes at least two network round trips through the proxy.
     assert latency["p50"] > 100.0
+    # Processing latency (BYE round trip) is measured too, and is shorter
+    # than setup (one round trip, no provisional responses).
+    processing = result.processing_latency_us
+    assert set(processing) == set(latency)
+    assert 0 < processing["p50"] < latency["p50"]

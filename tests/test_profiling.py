@@ -43,6 +43,26 @@ def test_snapshot_delta(profiler):
     assert delta == {"a": 7.0, "b": 3.0}
 
 
+def test_snapshot_delta_processes(profiler):
+    profiler.record("a", 10.0, "w0")
+    snap = profiler.snapshot_processes()
+    profiler.record("a", 7.0, "w0")
+    profiler.record("b", 3.0, "w1")
+    assert profiler.delta_processes(snap) == {"w0": 7.0, "w1": 3.0}
+
+
+def test_delta_raises_on_stale_snapshot(profiler):
+    profiler.record("a", 10.0, "w0")
+    labels = profiler.snapshot()
+    procs = profiler.snapshot_processes()
+    profiler.reset()
+    profiler.record("a", 2.0, "w0")
+    with pytest.raises(ValueError, match="stale"):
+        profiler.delta(labels)
+    with pytest.raises(ValueError, match="stale"):
+        profiler.delta_processes(procs)
+
+
 def test_reset(profiler):
     profiler.record("a", 10.0)
     profiler.reset()
@@ -82,3 +102,15 @@ def test_report_renders(profiler):
     text = ProfileReport(profiler.snapshot(), "test").render(5)
     assert "parse_msg" in text
     assert "66.7%" in text
+
+
+def test_report_width_covers_header_with_short_labels(profiler):
+    # Labels shorter than the "function" header must not skew columns.
+    profiler.record("a", 10.0)
+    header, *rows = ProfileReport(profiler.snapshot(), "t").render().split(
+        "\n")[1:]
+    assert header.index("cpu (ms)") > len("function")
+    column = header.index("cpu (ms)") + len("cpu (ms)")
+    for row in rows:
+        assert len(row.split()[0]) <= header.index("cpu (ms)")
+        assert row[:column].endswith(f"{10.0 / 1000.0:.2f}")
