@@ -1,4 +1,4 @@
-"""Command-line entry point: run one experimental cell.
+"""Command-line entry point: run experimental cells and figures.
 
 Examples::
 
@@ -8,11 +8,19 @@ Examples::
     python -m repro --series tcp-50 --clients 100 500 1000 --jobs 4
     python -m repro --series tcp-50 --trace trace.json
     python -m repro --series tcp-50 --metrics cell.jsonl --sample-us 5000
+    python -m repro fig-overload
+    python -m repro fig-overload --overload-series udp \\
+        --controllers none local-occupancy --load-factors 0.5 2.0 \\
+        --clients 16 --json overload.json
 
 Cells are deterministic, so results are cached on disk
 (``benchmarks/results/.cache/``; see ``--no-cache``/``--clear-cache``).
 Passing several ``--clients`` values runs one cell per value, fanned
 across ``--jobs`` worker processes.
+
+``fig-overload`` runs the overload figure: open-loop Poisson load from
+0.5×–3× measured capacity, with and without overload control, printing
+goodput and 503-rate per cell (``--json`` also writes the full grid).
 
 ``--trace FILE`` records the full message lifecycle (parse, transaction
 match, fd-passing IPC, sends) plus kernel events into a Chrome
@@ -28,6 +36,7 @@ import sys
 from repro.analysis.cache import ResultCache, default_cache_dir
 from repro.analysis.experiments import SERIES_DEF, ExperimentSpec
 from repro.analysis.runner import CellOutcome, default_jobs, run_cells
+from repro.overload import VALID_CONTROLLERS
 from repro.profiling.report import ProfileReport
 
 
@@ -35,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run one cell of the ISPASS 2008 SIP-proxy study.")
+    parser.add_argument("command", nargs="?", default="cell",
+                        choices=("cell", "fig-overload"),
+                        help="what to run: a single cell (default) or the "
+                             "overload figure")
     parser.add_argument("--series", default="udp",
                         choices=sorted(SERIES_DEF),
                         help="workload series (transport + connection reuse)")
@@ -71,6 +84,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="do not read or write the on-disk result cache")
     parser.add_argument("--clear-cache", action="store_true",
                         help="delete every cached result, then run")
+    overload = parser.add_argument_group("fig-overload options")
+    overload.add_argument("--overload-series", nargs="+", metavar="SERIES",
+                          default=None, choices=sorted(SERIES_DEF),
+                          help="series to sweep (default: udp tcp-persistent)")
+    overload.add_argument("--controllers", nargs="+", metavar="NAME",
+                          default=None, choices=VALID_CONTROLLERS,
+                          help="overload controllers to compare "
+                               "(default: none local-occupancy)")
+    overload.add_argument("--load-factors", nargs="+", type=float,
+                          metavar="X", default=None,
+                          help="offered load as multiples of measured "
+                               "capacity (default: 0.5 1 1.5 2 3)")
+    overload.add_argument("--json", metavar="FILE", default=None,
+                          help="also write the figure data as JSON")
     return parser
 
 
@@ -85,6 +112,11 @@ def _print_cell(spec: ExperimentSpec, result, cached: bool,
     print(f"cpu:          {result.cpu_utilization * 100:.0f}% of 4 cores")
     print(f"calls:        {result.calls_completed} completed, "
           f"{result.calls_failed} failed")
+    if result.offered_cps:
+        print(f"goodput:      {result.goodput_cps:,.0f} calls/s of "
+              f"{result.offered_cps:,.0f} offered "
+              f"({result.rejections_503} shed with 503, "
+              f"{result.client_retransmissions} client retransmissions)")
     for title, latency in (("setup lat:", result.setup_latency_us),
                            ("proc lat:", result.processing_latency_us)):
         if latency:
@@ -143,6 +175,37 @@ def _run_traced(specs, trace_file: str):
     return outcomes
 
 
+def _run_fig_overload(args, cache) -> int:
+    import json
+
+    from repro.analysis.overload import (
+        DEFAULT_CONTROLLERS,
+        DEFAULT_LOAD_FACTORS,
+        DEFAULT_SERIES,
+        render_overload_figure,
+        run_overload_figure,
+    )
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    data = run_overload_figure(
+        series=tuple(args.overload_series or DEFAULT_SERIES),
+        controllers=tuple(args.controllers or DEFAULT_CONTROLLERS),
+        load_factors=tuple(args.load_factors or DEFAULT_LOAD_FACTORS),
+        clients=args.clients[0],
+        seed=args.seed,
+        workers=args.workers,
+        sample_us=args.sample_us,
+        jobs=jobs,
+        cache=cache,
+    )
+    print(render_overload_figure(data))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(data, fh, indent=1, sort_keys=True)
+        print(f"json:         {args.json}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     cache = None if args.no_cache else ResultCache()
@@ -150,6 +213,8 @@ def main(argv=None) -> int:
         removed = ResultCache().clear()
         print(f"cache:        cleared {removed} cached cells "
               f"({default_cache_dir()})")
+    if args.command == "fig-overload":
+        return _run_fig_overload(args, cache)
     sample_us = args.sample_us
     if sample_us is None and args.metrics:
         from repro.obs.metrics import DEFAULT_INTERVAL_US

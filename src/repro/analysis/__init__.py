@@ -17,6 +17,13 @@ from repro.analysis.experiments import (
     UDP_WORKERS,
 )
 from repro.analysis.cache import ResultCache, spec_key
+from repro.analysis.overload import (
+    OVERLOAD_T1_US,
+    capacity_spec,
+    overload_spec,
+    render_overload_figure,
+    run_overload_figure,
+)
 from repro.analysis.runner import CellOutcome, default_jobs, run_cells
 from repro.analysis.paper_data import PAPER_FIGURES, SERIES, CLIENT_COUNTS
 from repro.analysis.tables import render_figure, render_comparison
@@ -38,4 +45,9 @@ __all__ = [
     "CLIENT_COUNTS",
     "render_figure",
     "render_comparison",
+    "OVERLOAD_T1_US",
+    "capacity_spec",
+    "overload_spec",
+    "run_overload_figure",
+    "render_overload_figure",
 ]

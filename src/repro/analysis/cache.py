@@ -31,8 +31,10 @@ import pathlib
 from typing import Optional
 
 #: bump when simulator changes invalidate previously computed results
-#: (v2: results carry latency p99.9/mean keys and sampled metric series)
-SCHEMA_VERSION = 2
+#: (v2: results carry latency p99.9/mean keys and sampled metric series;
+#: v3: overload subsystem — goodput/rejection fields, Timer E in
+#: Proceeding, controller hooks in the proxy core)
+SCHEMA_VERSION = 3
 
 #: default location, relative to the repository root (this file lives at
 #: ``<root>/src/repro/analysis/cache.py``)

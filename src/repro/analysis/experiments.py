@@ -89,6 +89,17 @@ class ExperimentSpec:
     server_fd_limit: int = 65536  # a tuned server (ulimit -n raised)
     #: bypass the compression-coupled reuse count (timeout experiments)
     ops_per_conn_override: Optional[int] = None
+    # -- overload cells (fig-overload) ---------------------------------
+    #: open-loop Poisson arrival rate, calls/s (None = closed loop)
+    offered_cps: Optional[float] = None
+    #: overload controller name (see :data:`repro.overload.VALID_CONTROLLERS`)
+    controller: str = "none"
+    controller_params: Dict = field(default_factory=dict)
+    #: compressed SIP T1 for overload cells (None = the config default
+    #: 500 ms).  T2/T4 follow at the RFC's 8×/10× ratios on both the
+    #: proxy and the phones, so retransmission dynamics fit sub-second
+    #: measurement windows.
+    sip_t1_us: Optional[float] = None
     #: exempt this cell's windows from REPRO_SCALE (experiments whose
     #: effect needs a minimum absolute duration, like Tab. S2)
     scale_windows: bool = True
@@ -141,6 +152,13 @@ def run_cell(spec: ExperimentSpec) -> BenchmarkResult:
                   profile=spec.profile or spec.sample_us is not None,
                   trace=spec.trace,
                   server_fd_limit=spec.server_fd_limit)
+    overload_kw = {}
+    if spec.sip_t1_us is not None:
+        overload_kw["sip_t1_us"] = spec.sip_t1_us
+        overload_kw["sip_t2_us"] = 8.0 * spec.sip_t1_us
+        # The timer process must wake well inside T1 or proxy-side
+        # retransmissions quantize to the tick.
+        overload_kw["timer_tick_us"] = spec.sip_t1_us / 4.0
     config = ProxyConfig(
         transport=spec.transport(),
         workers=spec.workers or spec.default_workers(),
@@ -149,6 +167,9 @@ def run_cell(spec: ExperimentSpec) -> BenchmarkResult:
         supervisor_nice=spec.supervisor_nice,
         idle_timeout_us=spec.idle_timeout_us,
         stateful=spec.stateful,
+        overload_controller=spec.controller,
+        overload_params=dict(spec.controller_params),
+        **overload_kw,
         **spec.config_overrides,
     )
     proxy = build_proxy(bed.server, config, spec.costs).start()
@@ -163,8 +184,16 @@ def run_cell(spec: ExperimentSpec) -> BenchmarkResult:
         ops_per_conn=spec.ops_per_conn(),
         warmup_us=warmup_us,
         measure_us=measure_us,
+        mode="open" if spec.offered_cps is not None else "closed",
+        offered_cps=spec.offered_cps or 0.0,
     )
-    manager = BenchmarkManager(bed, proxy, workload)
+    timers = None
+    if spec.sip_t1_us is not None:
+        from repro.sip.transaction import TransactionTimers
+        timers = TransactionTimers(t1_us=spec.sip_t1_us,
+                                   t2_us=8.0 * spec.sip_t1_us,
+                                   t4_us=10.0 * spec.sip_t1_us)
+    manager = BenchmarkManager(bed, proxy, workload, timers=timers)
     sampler = None
     if spec.sample_us is not None:
         from repro.obs import MetricSampler, register_standard_probes

@@ -8,6 +8,8 @@ per second over a window (phase 2).
 
 from repro.clients.workload import Workload, BenchmarkResult
 from repro.clients.phone import Phone
+from repro.clients.openloop import OpenLoopDriver
 from repro.clients.manager import BenchmarkManager
 
-__all__ = ["Workload", "BenchmarkResult", "Phone", "BenchmarkManager"]
+__all__ = ["Workload", "BenchmarkResult", "Phone", "BenchmarkManager",
+           "OpenLoopDriver"]

@@ -8,6 +8,7 @@ over a window of the call phase (phase 2).
 
 from typing import List, Optional
 
+from repro.clients.openloop import OpenLoopDriver
 from repro.clients.phone import Phone
 from repro.clients.workload import BenchmarkResult, Workload, percentiles
 from repro.obs.histogram import StreamingHistogram
@@ -48,6 +49,7 @@ class BenchmarkManager:
         self.go_event = Event(self.engine, name="manager.go")
         self.callers: List[Phone] = []
         self.callees: List[Phone] = []
+        self.driver: Optional[OpenLoopDriver] = None
         self.measured_window: Optional[tuple] = None
 
     # ------------------------------------------------------------------
@@ -69,6 +71,7 @@ class BenchmarkManager:
                 call_hold_us=workload.call_hold_us,
                 ring_delay_us=workload.ring_delay_us,
                 think_time_us=workload.think_time_us,
+                open_loop=workload.mode == "open",
             )
             caller = Phone(
                 machine=self.testbed.client_for(index),
@@ -101,10 +104,17 @@ class BenchmarkManager:
         self._registration_phase()
         self.go_event.fire(None)
         engine = self.engine
+        if self.workload.mode == "open":
+            self.driver = OpenLoopDriver(
+                engine, self.callers, self.workload.offered_cps,
+                self.testbed.rng.stream("openloop")).start()
         engine.run(until=engine.now + self.workload.warmup_us)
         # -- measured window ------------------------------------------------
         t0 = engine.now
         ops0 = self._total_ops()
+        completed0 = sum(p.calls_completed for p in self.callers)
+        attempted0 = sum(p.calls_attempted for p in self.callers)
+        rtx0 = self._total_retransmissions()
         stats0 = self.proxy.stats.snapshot()
         busy0 = self.testbed.server.scheduler.total_busy_us()
         profile0 = (self.testbed.profiler.snapshot()
@@ -117,6 +127,8 @@ class BenchmarkManager:
         ops = self._total_ops() - ops0
         profile = (self.testbed.profiler.delta(profile0)
                    if self.testbed.profiler is not None else {})
+        stats_delta = self.proxy.stats.delta(stats0)
+        completed = sum(p.calls_completed for p in self.callers) - completed0
         return BenchmarkResult(
             throughput_ops_s=ops / (duration / 1e6) if duration > 0 else 0.0,
             ops=ops,
@@ -128,7 +140,7 @@ class BenchmarkManager:
                 for p in self.callers + self.callees),
             cpu_utilization=self.testbed.server.cpu_utilization(
                 busy0, duration),
-            proxy_stats=self.proxy.stats.delta(stats0),
+            proxy_stats=stats_delta,
             profile=profile,
             setup_latency_us=_latency_summary(
                 self.callers, "setup_latencies_us", "setup_hist"),
@@ -136,9 +148,17 @@ class BenchmarkManager:
                 self.callers, "processing_latencies_us", "processing_hist"),
             proxy_totals=self.proxy.stats.snapshot(),
             open_conns=len(getattr(self.proxy, "conn_table", ())),
+            goodput_cps=completed / (duration / 1e6) if duration > 0 else 0.0,
+            offered_cps=self.workload.offered_cps,
+            calls_attempted=(sum(p.calls_attempted for p in self.callers)
+                             - attempted0),
+            rejections_503=stats_delta.get("invites_rejected", 0),
+            client_retransmissions=self._total_retransmissions() - rtx0,
         )
 
     def stop(self) -> None:
+        if self.driver is not None:
+            self.driver.stop()
         for phone in self.callers + self.callees:
             phone.stop()
 
@@ -159,3 +179,9 @@ class BenchmarkManager:
 
     def _total_ops(self) -> int:
         return sum(p.ops_completed for p in self.callers)
+
+    def _total_retransmissions(self) -> int:
+        """UAC retransmissions across all phones (callees retransmit
+        REGISTERs too, and their 200-OK repeats ride the same counter on
+        the server side — here we count client *requests* only)."""
+        return sum(p.retransmissions for p in self.callers + self.callees)

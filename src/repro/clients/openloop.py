@@ -1,0 +1,64 @@
+"""Open-loop Poisson call generation.
+
+The paper's benchmark is *closed-loop*: each caller starts its next call
+only when the previous one finishes, so offered load self-limits at
+server capacity and overload never happens.  The overload figure needs
+the opposite: arrivals at a configured calls/sec rate regardless of how
+the server is doing, the way real traffic hits a proxy.  Past capacity,
+unanswered INVITEs retransmit (timer A/E), the retransmissions consume
+server CPU, and goodput collapses — unless a controller sheds load.
+
+``OpenLoopDriver`` is a zero-simulated-cost event-callback loop (like
+:class:`repro.kernel.timerwheel.PeriodicTimer`): arrival scheduling
+itself must not compete with the phones for client CPU.  Gaps are drawn
+from a dedicated RNG stream, so the arrival pattern is a pure function
+of the seed and rate — cells stay bit-identical across runs and across
+the parallel runner's process boundary.
+"""
+
+class OpenLoopDriver:
+    """Inject calls into a caller pool at Poisson-distributed arrivals.
+
+    Each arrival hands one call to the next caller round-robin via
+    :meth:`Phone.start_call`, which runs the call in its own process —
+    a caller mid-call simply accumulates concurrent calls, it is never
+    skipped (that would close the loop again).
+    """
+
+    def __init__(self, engine, callers, offered_cps: float, rng) -> None:
+        if offered_cps <= 0:
+            raise ValueError("offered_cps must be positive")
+        if not callers:
+            raise ValueError("need at least one caller")
+        self.engine = engine
+        self.callers = list(callers)
+        self.offered_cps = offered_cps
+        self.rng = rng
+        self.arrivals = 0
+        self._next = 0
+        self._running = False
+        self._handle = None
+
+    def start(self) -> "OpenLoopDriver":
+        self._running = True
+        self._schedule_next()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _schedule_next(self) -> None:
+        gap_us = self.rng.expovariate(self.offered_cps) * 1e6
+        self._handle = self.engine.schedule(gap_us, self._arrive)
+
+    def _arrive(self) -> None:
+        if not self._running:
+            return
+        caller = self.callers[self._next % len(self.callers)]
+        self._next += 1
+        self.arrivals += 1
+        caller.start_call()
+        self._schedule_next()

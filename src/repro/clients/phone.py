@@ -59,6 +59,7 @@ class Phone:
         call_hold_us: float = 0.0,
         ring_delay_us: float = 0.0,
         think_time_us: float = 0.0,
+        open_loop: bool = False,
     ) -> None:
         if role not in ("caller", "callee"):
             raise ValueError(f"unknown role {role!r}")
@@ -82,6 +83,7 @@ class Phone:
         self.call_hold_us = call_hold_us
         self.ring_delay_us = ring_delay_us
         self.think_time_us = think_time_us
+        self.open_loop = open_loop
         self.reliable = transport in ("tcp", "sctp")
         self.builder = MessageBuilder(user, domain, machine.name, port,
                                       transport, rng)
@@ -90,9 +92,11 @@ class Phone:
         self.registration_failures = 0
         self.running = True
         self.ops_completed = 0      #: caller: completed transactions
+        self.calls_attempted = 0    #: caller: calls started
         self.calls_completed = 0
         self.calls_failed = 0
         self.retransmissions = 0    #: UAC request retransmissions sent
+        self.retransmissions_absorbed = 0  #: callee: duplicate INVITEs seen
         #: call-setup times (INVITE sent → 2xx received), µs; bounded
         self.setup_latencies_us = []
         #: BYE round-trip times (request sent → 2xx), µs; bounded.  No
@@ -112,6 +116,7 @@ class Phone:
                                         name=f"{user}.reconnect")
         self._reconnect_wanted = False
         self.processes = []
+        self._call_procs = []
         # -- transport plumbing -------------------------------------------
         self.socket = None
         self.endpoint = None
@@ -151,6 +156,9 @@ class Phone:
         self.running = False
         for proc in self.processes:
             proc.kill()
+        for proc in self._call_procs:
+            proc.kill()
+        self._call_procs.clear()
 
     def _main_body(self):
         if self.start_delay_us > 0:
@@ -159,12 +167,34 @@ class Phone:
         yield from self._register()
         if self.role != "caller":
             return
+        if self.open_loop:
+            # Open-loop callers are passive: the OpenLoopDriver injects
+            # calls via start_call() at its own (Poisson) pace.
+            return
         if self.go_event is not None:
             yield Wait(self.go_event)
         while self.running:
             yield from self._do_call()
             if self.think_time_us > 0:
                 yield Sleep(self.think_time_us)
+
+    def start_call(self) -> None:
+        """Launch one call as its own process (open-loop arrival).
+
+        Unlike the closed loop, a new arrival never waits for earlier
+        calls to finish — under overload, calls pile up in flight, which
+        is exactly the regime the overload figure measures.
+        """
+        if not self.running:
+            return
+        if len(self._call_procs) >= 64:
+            self._call_procs = [p for p in self._call_procs if p.alive]
+        proc = self.machine.spawn_light(
+            self._one_call(), f"{self.user}-call{self.calls_attempted}")
+        self._call_procs.append(proc.start())
+
+    def _one_call(self):
+        yield from self._do_call()
 
     # ==================================================================
     # transports
@@ -273,6 +303,7 @@ class Phone:
     # caller side
     # ==================================================================
     def _do_call(self):
+        self.calls_attempted += 1
         if self.transport == "tcp" and \
                 (self.conn is None or not self.conn.open_for_send):
             # Our connection died (e.g. the overloaded server shed it):
@@ -381,6 +412,7 @@ class Phone:
         call_id = invite.call_id
         existing = self._uas_invites.get(call_id)
         if existing is not None:
+            self.retransmissions_absorbed += 1
             existing.handle_request_retransmission()
             return
         st = ServerTransaction(self.engine, invite, self._send_text,

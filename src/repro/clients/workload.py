@@ -14,6 +14,14 @@ class Workload:
     connection-reuse knob from Fig. 3–5: ``None`` means persistent
     connections; 50/500 reconnect after that many operations, abandoning
     (never closing) the old connection, as the paper's clients did.
+
+    ``mode`` selects the load loop: ``"closed"`` is the paper's
+    benchmark (each caller starts its next call when the previous one
+    finishes, so offered load can never exceed capacity); ``"open"``
+    drives Poisson call arrivals at ``offered_cps`` calls/second across
+    the caller pool, *independent of completions* — the overload regime,
+    where offered load above capacity triggers retransmission-driven
+    collapse unless a controller sheds it.
     """
 
     clients: int = 100
@@ -24,6 +32,8 @@ class Workload:
     call_hold_us: float = 0.0      #: time between 200-OK and BYE
     ring_delay_us: float = 0.0     #: callee's 180→200 delay
     think_time_us: float = 0.0     #: caller pause between calls
+    mode: str = "closed"           #: "closed" (paper) or "open" (overload)
+    offered_cps: float = 0.0       #: open-loop Poisson arrival rate, calls/s
 
     def validate(self) -> None:
         if self.clients < 1:
@@ -32,6 +42,19 @@ class Workload:
             raise ValueError("ops_per_conn must be positive")
         if self.measure_us <= 0:
             raise ValueError("measurement window must be positive")
+        for name in ("warmup_us", "call_hold_us", "ring_delay_us",
+                     "think_time_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.register_deadline_us <= 0:
+            raise ValueError("register_deadline_us must be positive")
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"unknown workload mode {self.mode!r}; "
+                             "expected 'closed' or 'open'")
+        if self.mode == "open" and self.offered_cps <= 0:
+            raise ValueError("open-loop mode needs offered_cps > 0")
+        if self.mode == "closed" and self.offered_cps:
+            raise ValueError("offered_cps only applies to mode='open'")
 
 
 @dataclass
@@ -67,6 +90,20 @@ class BenchmarkResult:
     #: unless the cell sampled metrics); plain JSON, so it survives the
     #: runner's process boundary and the disk cache
     metrics: Dict = field(default_factory=dict)
+    #: calls *successfully completed* per second inside the measurement
+    #: window — the overload figure's y-axis.  Unlike
+    #: ``throughput_ops_s`` (which counts proxy operations), goodput
+    #: gives no credit for work spent on calls that later failed.
+    goodput_cps: float = 0.0
+    #: open-loop offered rate this cell was driven at (0 = closed loop)
+    offered_cps: float = 0.0
+    #: calls started inside the measurement window
+    calls_attempted: int = 0
+    #: INVITEs the proxy shed with 503 inside the measurement window
+    rejections_503: int = 0
+    #: UAC-side request retransmissions inside the measurement window —
+    #: the amplification term that drives congestion collapse over UDP
+    client_retransmissions: int = 0
 
     def __repr__(self) -> str:
         return (f"<BenchmarkResult {self.throughput_ops_s:.0f} ops/s "

@@ -210,6 +210,11 @@ def register_standard_probes(sampler: MetricSampler, testbed,
         sampler.add_gauge("ipc_depth", lambda: sum(
             chan.pending_total() for chan in channels))
     sampler.add_rate("msg_rx_rate", lambda: stats.messages_received)
+    sampler.add_rate("reject_503_rate", lambda: stats.invites_rejected)
+    controller = getattr(proxy, "controller", None)
+    if controller is not None:
+        for name, fn in controller.gauge_probes().items():
+            sampler.add_gauge(f"overload_{name}", fn)
     sampler.add_rate("fd_request_rate", lambda: stats.fd_requests)
     sampler.add_rate("idle_scan_rate",
                      lambda: stats.idle_scan_entries_examined)

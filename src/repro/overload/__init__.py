@@ -1,0 +1,60 @@
+"""Overload control: admission policies for load past saturation.
+
+The subsystem has three pieces:
+
+- the :class:`~repro.overload.controller.OverloadController` interface
+  the proxy core consults per arriving INVITE (plus the shared
+  :class:`~repro.overload.controller.OccupancySignal` probe);
+- :class:`~repro.overload.occupancy.LocalOccupancyController` — the
+  classic occupancy-triggered 503 shedder;
+- :class:`~repro.overload.window.WindowController` — per-upstream
+  feedback windows à la Shen & Schulzrinne.
+
+``build_controller`` maps a :class:`~repro.proxy.config.ProxyConfig`
+name to an instance (``"none"`` → ``None``: the collapse baseline, with
+zero per-message overhead).
+"""
+
+from typing import Dict, Optional
+
+from repro.overload.controller import (
+    DEFAULT_CONTROL_INTERVAL_US,
+    OccupancySignal,
+    OverloadController,
+    PeriodicController,
+)
+from repro.overload.occupancy import LocalOccupancyController
+from repro.overload.window import WindowController
+
+CONTROLLERS = {
+    "local-occupancy": LocalOccupancyController,
+    "window": WindowController,
+}
+
+VALID_CONTROLLERS = ("none",) + tuple(sorted(CONTROLLERS))
+
+
+def build_controller(name: str, params: Optional[Dict] = None
+                     ) -> Optional[OverloadController]:
+    """Instantiate the named controller (``"none"`` → ``None``)."""
+    if name == "none":
+        return None
+    try:
+        cls = CONTROLLERS[name]
+    except KeyError:
+        raise ValueError(f"unknown overload controller {name!r}; "
+                         f"expected one of {VALID_CONTROLLERS}") from None
+    return cls(params)
+
+
+__all__ = [
+    "OverloadController",
+    "PeriodicController",
+    "OccupancySignal",
+    "LocalOccupancyController",
+    "WindowController",
+    "build_controller",
+    "CONTROLLERS",
+    "VALID_CONTROLLERS",
+    "DEFAULT_CONTROL_INTERVAL_US",
+]

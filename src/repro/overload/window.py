@@ -1,0 +1,98 @@
+"""Window-based overload control: bound in-flight INVITEs per upstream.
+
+The feedback-window scheme of Shen & Schulzrinne's TCP overload-control
+work, enforced proxy-side: each upstream source (a TCP connection
+record, or a UDP source address) may have at most ``window`` INVITE
+transactions outstanding; excess arrivals are shed with 503.  The window
+is AIMD-adjusted from the shared occupancy signal — additive increase
+while the server has headroom, multiplicative decrease when occupancy or
+the receive queue says overload — and an admitted call's completion (or
+timeout) releases its slot.
+
+Bounding *concurrency* rather than rate is what makes this scheme
+self-clocking: under overload, per-call latency grows, so a fixed
+window automatically admits fewer calls per second (Little's law), and
+the shed traffic never enters the retransmission spiral.
+
+Per-source state lives in a plain dict keyed by the source object (the
+TCP servers' ``ConnRecord``/the UDP ``(addr, port)`` pair); the
+transports call :meth:`forget_source` when a connection dies so closed
+upstreams cannot leak slots.
+"""
+
+from typing import Callable, Dict, Optional
+
+from repro.overload.controller import PeriodicController
+
+
+class WindowController(PeriodicController):
+    """Per-upstream AIMD feedback window over in-flight INVITEs."""
+
+    name = "window"
+
+    def __init__(self, params: Optional[Dict] = None) -> None:
+        super().__init__(params)
+        get = self.params.get
+        self.target = float(get("target_occupancy", 0.85))
+        self.queue_high = float(get("queue_high", 0.25))
+        self.window_min = float(get("window_min", 1.0))
+        self.window_max = float(get("window_max", 64.0))
+        #: additive increase per control tick with headroom
+        self.increase = float(get("increase", 0.25))
+        #: multiplicative decrease factor on overload
+        self.decrease = float(get("decrease", 0.7))
+        self.window = float(get("window_initial", 8.0))
+        self._inflight: Dict[object, int] = {}
+
+    # -- control law ---------------------------------------------------
+    def update(self, occupancy: float, queue_fill: float) -> None:
+        if occupancy > self.target or queue_fill > self.queue_high:
+            self.window = max(self.window_min, self.window * self.decrease)
+        else:
+            self.window = min(self.window_max, self.window + self.increase)
+
+    # -- admission -----------------------------------------------------
+    def admit(self, now: float, source) -> bool:
+        try:
+            inflight = self._inflight.get(source, 0)
+        except TypeError:  # unhashable source: never throttle it
+            return True
+        return inflight < self.window
+
+    def note_admitted(self, source) -> None:
+        try:
+            self._inflight[source] = self._inflight.get(source, 0) + 1
+        except TypeError:
+            pass
+
+    def note_done(self, source, success: bool = True) -> None:
+        try:
+            left = self._inflight.get(source, 0) - 1
+        except TypeError:
+            return
+        if left > 0:
+            self._inflight[source] = left
+        else:
+            self._inflight.pop(source, None)
+        if not success:
+            # A timed-out admitted call is the strongest overload signal
+            # there is; shrink without waiting for the next tick.
+            self.window = max(self.window_min, self.window * self.decrease)
+
+    def forget_source(self, source) -> None:
+        try:
+            self._inflight.pop(source, None)
+        except TypeError:
+            pass
+
+    # -- observability -------------------------------------------------
+    def inflight_total(self) -> int:
+        return sum(self._inflight.values())
+
+    def gauge_probes(self) -> Dict[str, Callable[[], float]]:
+        return {
+            "window": lambda: self.window,
+            "inflight": lambda: float(self.inflight_total()),
+            "occupancy": lambda: (self.signal.occupancy
+                                  if self.signal is not None else 0.0),
+        }

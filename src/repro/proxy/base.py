@@ -2,6 +2,7 @@
 
 from typing import List, Optional
 
+from repro.overload import build_controller
 from repro.proxy.core import ProxyCore
 from repro.proxy.costs import CostModel
 from repro.proxy.stats import ProxyStats
@@ -34,6 +35,10 @@ class BaseProxyServer:
             self.core.tracer = self.tracer
             self.txn_table.lock.tracer = self.tracer
             self.timer_list.lock.tracer = self.tracer
+        #: overload controller ("none" → None; see :mod:`repro.overload`)
+        self.controller = build_controller(config.overload_controller,
+                                           config.overload_params)
+        self.core.controller = self.controller
         self.processes: List = []
         self.started = False
 
@@ -46,14 +51,26 @@ class BaseProxyServer:
         self._spawn_processes()
         for proc in self.processes:
             proc.start()
+        if self.controller is not None:
+            # Bound after the transports built their receive machinery,
+            # so the occupancy signal can see the queue-fill probe.
+            self.controller.bind(self)
         return self
 
     def _spawn_processes(self) -> None:
         raise NotImplementedError
 
     def stop(self) -> None:
+        if self.controller is not None:
+            self.controller.stop()
         for proc in self.processes:
             proc.kill()
+
+    def queue_fill(self) -> float:
+        """Receive-queue fill fraction in [0, 1] for the overload
+        controllers' panic signal; transports with a meaningful receive
+        queue override this."""
+        return 0.0
 
     # ------------------------------------------------------------------
     # the timer process (§3: essential for UDP, superfluous-but-present

@@ -1,7 +1,9 @@
 """Proxy configuration (the knobs §4.3 discusses, and the §5 fixes)."""
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.overload import VALID_CONTROLLERS
 
 VALID_TRANSPORTS = ("udp", "tcp", "sctp", "tcp-threaded")
 VALID_IDLE_STRATEGIES = ("scan", "pq")
@@ -59,6 +61,14 @@ class ProxyConfig:
     #: and deadlock-prone when ipc_capacity is small
     supervisor_blocking_send: bool = True
 
+    # -- overload control -----------------------------------------------------
+    #: admission policy past saturation: "none" (collapse baseline),
+    #: "local-occupancy" (occupancy-triggered 503 shedding) or "window"
+    #: (per-upstream feedback window) — see :mod:`repro.overload`
+    overload_controller: str = "none"
+    #: controller tuning knobs, passed through to its constructor
+    overload_params: Dict = field(default_factory=dict)
+
     def validate(self) -> None:
         if self.transport not in VALID_TRANSPORTS:
             raise ValueError(f"unknown transport {self.transport!r}; "
@@ -71,6 +81,13 @@ class ProxyConfig:
             raise ValueError("supervisor_nice out of range")
         if self.idle_timeout_us <= 0:
             raise ValueError("idle_timeout_us must be positive")
+        if self.overload_controller not in VALID_CONTROLLERS:
+            raise ValueError(
+                f"unknown overload controller {self.overload_controller!r}; "
+                f"expected one of {VALID_CONTROLLERS}")
+        if self.overload_controller == "window" and not self.stateful:
+            raise ValueError("the window controller tracks in-flight INVITE "
+                             "transactions and needs a stateful proxy")
 
     @property
     def reliable_transport(self) -> bool:

@@ -41,6 +41,10 @@ class ProxyCore:
         self._pending_register_contact = None
         #: optional span tracer (set by BaseProxyServer when tracing)
         self.tracer = None
+        #: optional overload controller (set by BaseProxyServer); None
+        #: means no admission check at all — the collapse baseline pays
+        #: zero overhead
+        self.controller = None
 
     # ------------------------------------------------------------------
     # entry point
@@ -63,6 +67,16 @@ class ProxyCore:
     def _process(self, text: str, source, who: str, span=None):
         self._pending_register_contact = None
         self.stats.messages_received += 1
+        controller = self.controller
+        if (controller is not None and text.startswith("INVITE ")
+                and not controller.admit(self.engine.now, source)):
+            # Shed before the full parse: the whole point of 503-based
+            # overload control is that rejection costs a fraction of
+            # processing (method sniff + shallow header scan), so the
+            # server keeps capacity for the calls it does admit.  A
+            # rejected retransmission is shed too — the 503 terminates
+            # the upstream transaction and stops the retransmit clock.
+            return (yield from self._reject_overload(text, source, span))
         parse_span = (self.tracer.begin("parse_msg", cat="proxy",
                                         who=f"{self.via_host}/{who}")
                       if span is not None else None)
@@ -83,6 +97,27 @@ class ProxyCore:
         if message.is_request:
             return (yield from self._process_request(message, source, who))
         return (yield from self._process_response(message, source, who))
+
+    def _reject_overload(self, text: str, source, span=None):
+        """Generator: 503-shed an INVITE the controller refused.
+
+        Charges ``reject_503_us`` — the cost of the method sniff, a
+        shallow scan for the headers the 503 must echo, and building the
+        tiny response — instead of the full parse/route/forward
+        pipeline, and creates **no** transaction state.
+        """
+        yield Compute(self.costs.reject_503_us, "reject_503")
+        try:
+            request = parse_message(text)
+        except SipParseError:
+            self.stats.parse_errors += 1
+            return []
+        self.stats.invites_rejected += 1
+        if span is not None:
+            span.set(call_id=request.call_id, kind="INVITE", rejected=True)
+        reply = self._make_response(request, 503, "Service Unavailable")
+        reply.add("Retry-After", str(self.controller.retry_after_s))
+        return [SendAction(reply.render(), ToSource(source), "reply")]
 
     # ------------------------------------------------------------------
     # requests
@@ -186,6 +221,10 @@ class ProxyCore:
                 yield from self.timer_list.insert(
                     self.engine.now + txn.rtx_interval_us, "rtx",
                     our_branch, who)
+        if self.controller is not None and request.method == "INVITE":
+            # Charged against the window only once routing succeeded —
+            # retransmissions, 404s and 483s never occupy a slot.
+            self.controller.note_admitted(source)
         actions.append(SendAction(forwarded, ToBinding(binding),
                                   "forward_request"))
         return actions
@@ -234,6 +273,9 @@ class ProxyCore:
             self.stats.transactions_completed += 1
             if txn.method == "INVITE":
                 self.stats.invite_completed += 1
+                if self.controller is not None:
+                    self.controller.note_done(
+                        txn.source, success=response.status < 300)
             elif txn.method == "BYE":
                 self.stats.bye_completed += 1
             yield from self.timer_list.insert(
@@ -325,6 +367,8 @@ class ProxyCore:
             age = self.engine.now - txn.created_at
             if age >= 64.0 * self.config.sip_t1_us:
                 self.stats.transactions_timed_out += 1
+                if self.controller is not None and txn.method == "INVITE":
+                    self.controller.note_done(txn.source, success=False)
                 yield from self.txn_table.remove(txn, who)
                 continue
             yield Compute(self.costs.retransmit_us, "t_retransmit")

@@ -85,6 +85,14 @@ class CostModel:
     # -- registration ---------------------------------------------------------
     registrar_update_us: float = 12.0   #: usrloc write (DB-backed)
 
+    # -- overload control -------------------------------------------------
+    #: 503-shed an INVITE without admitting it: method sniff, shallow
+    #: header scan, build the stock response.  Deliberately a small
+    #: fraction of the full parse+route+forward pipeline — if rejection
+    #: cost full price, shedding could not defend capacity (the
+    #: rejection-cost premise of SIP overload control).
+    reject_503_us: float = 4.0
+
     # -- working-set pressure -----------------------------------------------
     #: extra per-message cost per 1000 registered phones.  On real hardware
     #: a larger usrloc/transaction working set means more cache misses per

@@ -26,6 +26,8 @@ class ProxyStats:
         self.retransmissions_sent = 0
         self.retransmissions_absorbed = 0
         self.transactions_timed_out = 0
+        # overload control
+        self.invites_rejected = 0
         # registration
         self.registrations = 0
         # TCP architecture specifics

@@ -80,6 +80,14 @@ class TcpProxyServer(BaseProxyServer):
             if idle_lock is not None:
                 idle_lock.tracer = tracer
 
+    def queue_fill(self) -> float:
+        """IPC backlog fill — TCP's analogue of a full receive buffer:
+        the supervisor has accepted/assigned work faster than workers
+        drain it."""
+        chans = self.assign_chans + self.req_chans
+        pending = sum(chan.pending_total() for chan in chans)
+        return pending / (self.config.ipc_capacity * len(chans))
+
     def _spawn_processes(self) -> None:
         self._sup_proc = self.machine.spawn(
             self._supervisor_body(), "tcp-supervisor",
@@ -210,6 +218,9 @@ class TcpProxyServer(BaseProxyServer):
 
     def _destroy_record(self, record: ConnRecord, who: str):
         fdtable = self._sup_proc.fdtable
+        if self.controller is not None:
+            # A dead upstream must not keep holding overload-window slots.
+            self.controller.forget_source(record)
         yield Compute(self.costs.fd_close_us, "tcp_close")
         if record.sup_fd is not None and record.sup_fd in fdtable:
             fdtable.close(record.sup_fd)

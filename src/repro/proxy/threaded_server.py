@@ -137,6 +137,8 @@ class ThreadedTcpProxyServer(BaseProxyServer):
 
     def _close_conn(self, record: ConnRecord, who: str):
         """Single-phase teardown: one close, no worker round trip."""
+        if self.controller is not None:
+            self.controller.forget_source(record)
         shared = self.conns.pop(record.conn, None)
         yield Compute(self.costs.fd_close_us, "tcp_close")
         if shared is not None and shared.fd in self.fdtable:

@@ -21,6 +21,13 @@ class UdpProxyServer(BaseProxyServer):
         self.socket = UdpEndpoint(machine, config.port,
                                   rcvbuf_datagrams=config.udp_rcvbuf_datagrams)
 
+    def queue_fill(self) -> float:
+        """Socket receive-buffer fill — the UDP overload panic signal:
+        once this saturates, arrivals are silently dropped and the
+        retransmission spiral begins."""
+        buffer = self.socket.buffer
+        return len(buffer.queue) / buffer.capacity
+
     def _spawn_processes(self) -> None:
         for index in range(self.config.workers):
             self.processes.append(self.machine.spawn(

@@ -88,8 +88,15 @@ class ClientTransaction:
             return
         if response.is_provisional:
             self.state = TxnState.PROCEEDING
-            # Provisional response: stop hammering, keep waiting.
-            self._retransmit_timer.cancel()
+            if self.request.method == "INVITE":
+                # Timer A stops on a 1xx (RFC 3261 §17.1.1.2): the server
+                # transaction now owns reliability.
+                self._retransmit_timer.cancel()
+            else:
+                # Timer E keeps firing in Proceeding for non-INVITE, at
+                # the T2 ceiling (§17.1.2.2) — over UDP an overloaded
+                # server keeps seeing duplicates until it answers.
+                self._interval = self.timers.t2
         else:
             self.final_response = response
             self.state = TxnState.COMPLETED
@@ -110,7 +117,9 @@ class ClientTransaction:
         self._timed_out()
 
     def _retransmit(self) -> None:
-        if self.state is not TxnState.CALLING:
+        if self.state is not TxnState.CALLING and not (
+                self.state is TxnState.PROCEEDING
+                and self.request.method != "INVITE"):
             return
         self.retransmissions += 1
         self.send_fn(self.request.render())

@@ -15,10 +15,22 @@ class TestWorkload:
         dict(clients=0),
         dict(ops_per_conn=0),
         dict(measure_us=0),
+        dict(warmup_us=-1.0),
+        dict(call_hold_us=-0.5),
+        dict(ring_delay_us=-100.0),
+        dict(think_time_us=-1e-9),
+        dict(register_deadline_us=0),
+        dict(mode="half-open"),
+        dict(mode="open"),                      # open loop needs a rate
+        dict(mode="open", offered_cps=-5.0),
+        dict(offered_cps=100.0),                # rate needs the open loop
     ])
     def test_invalid_rejected(self, kwargs):
         with pytest.raises(ValueError):
             Workload(**kwargs).validate()
+
+    def test_open_loop_valid(self):
+        Workload(mode="open", offered_cps=500.0).validate()
 
 
 class TestManager:

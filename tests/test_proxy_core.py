@@ -133,6 +133,35 @@ class TestInvite:
         assert parse_message(actions[0].text).status == 100
         assert core.stats.retransmissions_absorbed == 1
 
+    def test_duplicate_invite_after_completion_absorbed_within_linger(
+            self, engine):
+        """A duplicate branch arriving *after* the final response but
+        inside GC_LINGER_US must hit the lingering transaction: the 200
+        is replayed from state, nothing is re-routed, and the proxy
+        counts an absorption, not a new transaction."""
+        from repro.proxy.core import GC_LINGER_US
+
+        core = make_core(engine)
+        invite, actions = self.setup_call(engine, core)
+        forwarded = parse_message(actions[1].text)
+        ok = bob().response_for(forwarded, 200, to_tag="bt")
+        drive(engine, core.process(ok.render(), ("client2", 40000)))
+        assert core.stats.invite_completed == 1
+        created_before = core.stats.transactions_created
+
+        engine.run(until=engine.now + GC_LINGER_US / 2.0)
+        actions = drive(engine, core.process(invite.render(),
+                                             ("client1", 20000)))
+        assert core.stats.retransmissions_absorbed == 1
+        assert core.stats.transactions_created == created_before
+        # The best (final) response is replayed to the caller; the callee
+        # never sees the duplicate.
+        assert len(actions) == 1
+        replay = parse_message(actions[0].text)
+        assert replay.status == 200
+        assert isinstance(actions[0].target, ToSource)
+        assert actions[0].target.source == ("client1", 20000)
+
     def test_retransmission_timer_armed_for_udp_only(self, engine):
         core = make_core(engine, transport="udp")
         self.setup_call(engine, core)
