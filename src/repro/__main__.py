@@ -12,6 +12,8 @@ Examples::
     python -m repro fig-overload --overload-series udp \\
         --controllers none local-occupancy --load-factors 0.5 2.0 \\
         --clients 16 --json overload.json
+    python -m repro fig-faults
+    python -m repro fig-faults --smoke --json faults.json
 
 Cells are deterministic, so results are cached on disk
 (``benchmarks/results/.cache/``; see ``--no-cache``/``--clear-cache``).
@@ -21,6 +23,11 @@ across ``--jobs`` worker processes.
 ``fig-overload`` runs the overload figure: open-loop Poisson load from
 0.5×–3× measured capacity, with and without overload control, printing
 goodput and 503-rate per cell (``--json`` also writes the full grid).
+
+``fig-faults`` runs the fault-resilience figure: a worker crash is
+injected mid-measurement and goodput is compared before/during/after
+the fault with the supervisor watchdog off and on (``--smoke`` runs the
+small CI configuration).
 
 ``--trace FILE`` records the full message lifecycle (parse, transaction
 match, fd-passing IPC, sends) plus kernel events into a Chrome
@@ -45,9 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Run one cell of the ISPASS 2008 SIP-proxy study.")
     parser.add_argument("command", nargs="?", default="cell",
-                        choices=("cell", "fig-overload"),
-                        help="what to run: a single cell (default) or the "
-                             "overload figure")
+                        choices=("cell", "fig-overload", "fig-faults"),
+                        help="what to run: a single cell (default), the "
+                             "overload figure, or the fault-resilience "
+                             "figure")
     parser.add_argument("--series", default="udp",
                         choices=sorted(SERIES_DEF),
                         help="workload series (transport + connection reuse)")
@@ -98,6 +106,22 @@ def build_parser() -> argparse.ArgumentParser:
                                "capacity (default: 0.5 1 1.5 2 3)")
     overload.add_argument("--json", metavar="FILE", default=None,
                           help="also write the figure data as JSON")
+    faults = parser.add_argument_group("fig-faults options")
+    faults.add_argument("--fault-series", nargs="+", metavar="SERIES",
+                        default=None, choices=sorted(SERIES_DEF),
+                        help="series to inject faults into "
+                             "(default: tcp-persistent)")
+    faults.add_argument("--load-factor", type=float, default=None,
+                        metavar="X",
+                        help="offered load as a fraction of measured "
+                             "capacity (default: 0.7)")
+    faults.add_argument("--fault-at-us", type=float, default=None,
+                        metavar="US",
+                        help="fault offset into the measurement window "
+                             "(default: 300000)")
+    faults.add_argument("--smoke", action="store_true",
+                        help="small, fast fig-faults configuration "
+                             "(16 clients) for CI smoke runs")
     return parser
 
 
@@ -206,6 +230,39 @@ def _run_fig_overload(args, cache) -> int:
     return 0
 
 
+def _run_fig_faults(args, cache) -> int:
+    import json
+
+    from repro.analysis.faults import (
+        DEFAULT_FAULT_AT_US,
+        DEFAULT_LOAD_FACTOR,
+        DEFAULT_SERIES,
+        render_faults_figure,
+        run_faults_figure,
+    )
+
+    clients = 16 if args.smoke else args.clients[0]
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    data = run_faults_figure(
+        series=tuple(args.fault_series or DEFAULT_SERIES),
+        clients=clients,
+        seed=args.seed,
+        workers=args.workers,
+        load_factor=(args.load_factor if args.load_factor is not None
+                     else DEFAULT_LOAD_FACTOR),
+        fault_at_us=(args.fault_at_us if args.fault_at_us is not None
+                     else DEFAULT_FAULT_AT_US),
+        jobs=jobs,
+        cache=cache,
+    )
+    print(render_faults_figure(data))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(data, fh, indent=1, sort_keys=True)
+        print(f"json:         {args.json}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     cache = None if args.no_cache else ResultCache()
@@ -215,6 +272,8 @@ def main(argv=None) -> int:
               f"({default_cache_dir()})")
     if args.command == "fig-overload":
         return _run_fig_overload(args, cache)
+    if args.command == "fig-faults":
+        return _run_fig_faults(args, cache)
     sample_us = args.sample_us
     if sample_us is None and args.metrics:
         from repro.obs.metrics import DEFAULT_INTERVAL_US

@@ -33,8 +33,10 @@ from typing import Optional
 #: bump when simulator changes invalidate previously computed results
 #: (v2: results carry latency p99.9/mean keys and sampled metric series;
 #: v3: overload subsystem — goodput/rejection fields, Timer E in
-#: Proceeding, controller hooks in the proxy core)
-SCHEMA_VERSION = 3
+#: Proceeding, controller hooks in the proxy core;
+#: v4: fault subsystem — fabric egress/ordering fixes, IPC
+#: blocked-marker hygiene, fault_plan/watchdog spec fields)
+SCHEMA_VERSION = 4
 
 #: default location, relative to the repository root (this file lives at
 #: ``<root>/src/repro/analysis/cache.py``)

@@ -104,6 +104,15 @@ class ExperimentSpec:
     #: effect needs a minimum absolute duration, like Tab. S2)
     scale_windows: bool = True
     config_overrides: Dict = field(default_factory=dict)
+    # -- fault-injection cells (fig-faults) -----------------------------
+    #: serialized :class:`repro.faults.FaultPlan` (``plan.to_dict()``;
+    #: None = no injected faults).  Event times are relative to the
+    #: start of the measurement window.
+    fault_plan: Optional[Dict] = None
+    #: run the wait-for-graph deadlock detector alongside the cell
+    detect_deadlocks: bool = False
+    #: run the supervisor watchdog (crash/hang/deadlock restarts)
+    watchdog: bool = False
 
     def transport(self) -> str:
         return SERIES_DEF[self.series][0]
@@ -194,14 +203,51 @@ def run_cell(spec: ExperimentSpec) -> BenchmarkResult:
                                    t2_us=8.0 * spec.sip_t1_us,
                                    t4_us=10.0 * spec.sip_t1_us)
     manager = BenchmarkManager(bed, proxy, workload, timers=timers)
+    # -- fault machinery (all zero simulated cost; see repro.faults) ----
+    detector = watchdog = injector = None
+    if spec.detect_deadlocks:
+        from repro.faults import DeadlockDetector
+        detector = DeadlockDetector(bed.engine, tracer=bed.tracer)
+        detector.watch_proxy(proxy)
+        detector.start()
+    if spec.watchdog:
+        from repro.faults import Watchdog
+        watchdog = Watchdog(proxy, detector=detector,
+                            tracer=bed.tracer).start()
+    if spec.fault_plan:
+        from repro.faults import FaultInjector, FaultPlan
+        injector = FaultInjector(bed, proxy,
+                                 FaultPlan.from_dict(spec.fault_plan),
+                                 tracer=bed.tracer)
+        manager.on_measure_start.append(injector.arm)
     sampler = None
     if spec.sample_us is not None:
         from repro.obs import MetricSampler, register_standard_probes
         sampler = MetricSampler(bed.engine, interval_us=spec.sample_us,
                                 profiler=bed.profiler)
         register_standard_probes(sampler, bed, proxy)
+        # Client-measured completion rate, windowable around fault
+        # events (manager.callers is filled in before traffic starts).
+        sampler.add_rate("client_goodput_cps", lambda: sum(
+            p.calls_completed for p in manager.callers))
+        if detector is not None:
+            for name, fn in detector.gauge_probes().items():
+                sampler.add_gauge(name, fn)
+        if watchdog is not None:
+            for name, fn in watchdog.gauge_probes().items():
+                sampler.add_gauge(name, fn)
         sampler.start()
     result = manager.run()
+    for component in (detector, watchdog):
+        if component is not None:
+            component.stop()
+    if detector is not None or watchdog is not None or injector is not None:
+        result.faults = {
+            "plan": spec.fault_plan or {},
+            "injected": list(injector.log) if injector else [],
+            "deadlocks": list(detector.detections) if detector else [],
+            "restarts": list(watchdog.restarts) if watchdog else [],
+        }
     if sampler is not None:
         sampler.stop()
         metrics = sampler.to_dict()

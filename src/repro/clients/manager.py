@@ -51,6 +51,9 @@ class BenchmarkManager:
         self.callees: List[Phone] = []
         self.driver: Optional[OpenLoopDriver] = None
         self.measured_window: Optional[tuple] = None
+        #: callbacks fired with t0 when the measurement window opens
+        #: (e.g. :meth:`repro.faults.FaultInjector.arm`)
+        self.on_measure_start: List = []
 
     # ------------------------------------------------------------------
     def setup_phones(self) -> None:
@@ -111,6 +114,8 @@ class BenchmarkManager:
         engine.run(until=engine.now + self.workload.warmup_us)
         # -- measured window ------------------------------------------------
         t0 = engine.now
+        for hook in self.on_measure_start:
+            hook(t0)
         ops0 = self._total_ops()
         completed0 = sum(p.calls_completed for p in self.callers)
         attempted0 = sum(p.calls_attempted for p in self.callers)

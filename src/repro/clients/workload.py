@@ -104,6 +104,10 @@ class BenchmarkResult:
     #: UAC-side request retransmissions inside the measurement window —
     #: the amplification term that drives congestion collapse over UDP
     client_retransmissions: int = 0
+    #: fault-injection record (empty unless the cell ran with a fault
+    #: plan, deadlock detector or watchdog): {"plan": ..., "injected":
+    #: [...], "deadlocks": [...], "restarts": [...]} — plain JSON
+    faults: Dict = field(default_factory=dict)
 
     def __repr__(self) -> str:
         return (f"<BenchmarkResult {self.throughput_ops_s:.0f} ops/s "

@@ -1,0 +1,227 @@
+"""The FaultPlan DSL: deterministic, timed fault schedules.
+
+A :class:`FaultPlan` is an ordered list of fault events, each pinned to
+an offset **relative to the start of the measurement window** (the
+injector arms at t0, so warmup and registration are never perturbed and
+the same plan hits the same simulated instants for every seed).  Events
+come in two shapes:
+
+- **windowed** — applied at ``start_us`` and reverted at
+  ``start_us + duration_us`` (:class:`LossBurst`, :class:`LatencyWindow`,
+  :class:`Partition`, :class:`WorkerHang`, :class:`IpcStall`);
+- **one-shot** — applied once (:class:`WorkerCrash`; recovery, if any,
+  is the watchdog's job, not the plan's).
+
+Plans serialize to plain JSON (``to_dict``/``from_dict``) so they ride
+on :class:`~repro.analysis.experiments.ExperimentSpec` through the
+result cache and the parallel runner unchanged.  Determinism: the plan
+contains no randomness of its own; stochastic faults (a loss *rate*)
+draw from the fabric's seeded rng stream, so the same seed and plan
+reproduce the same packet-level outcome.
+"""
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class FaultPlanError(ValueError):
+    """An invalid plan (bad times, unknown kinds, overlapping windows)."""
+
+
+_EVENT_TYPES: Dict[str, type] = {}
+
+
+def _register(cls):
+    _EVENT_TYPES[cls.kind] = cls
+    return cls
+
+
+@dataclass
+class _Event:
+    """Shared shape: when the fault starts, relative to measure start."""
+
+    start_us: float = 0.0
+
+    #: subclasses set these
+    kind = "?"
+    windowed = False
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + getattr(self, "duration_us", 0.0)
+
+    def validate(self) -> None:
+        if self.start_us < 0:
+            raise FaultPlanError(f"{self.kind}: start_us must be >= 0")
+        if self.windowed and getattr(self, "duration_us") <= 0:
+            raise FaultPlanError(f"{self.kind}: duration_us must be > 0")
+
+    def to_dict(self) -> Dict:
+        payload = dataclasses.asdict(self)
+        payload["kind"] = self.kind
+        return payload
+
+
+@_register
+@dataclass
+class LossBurst(_Event):
+    """A window of uniform packet loss at the switch (all paths)."""
+
+    duration_us: float = 0.0
+    loss_rate: float = 1.0
+    kind = "loss-burst"
+    windowed = True
+
+    def validate(self) -> None:
+        super().validate()
+        if not 0.0 < self.loss_rate <= 1.0:
+            raise FaultPlanError("loss-burst: loss_rate must be in (0, 1]")
+
+
+@_register
+@dataclass
+class LatencyWindow(_Event):
+    """A window of added one-way latency and/or jitter (all paths)."""
+
+    duration_us: float = 0.0
+    extra_latency_us: float = 0.0
+    extra_jitter_us: float = 0.0
+    kind = "latency-window"
+    windowed = True
+
+    def validate(self) -> None:
+        super().validate()
+        if self.extra_latency_us < 0 or self.extra_jitter_us < 0:
+            raise FaultPlanError("latency-window: impairments must be >= 0")
+        if self.extra_latency_us == 0 and self.extra_jitter_us == 0:
+            raise FaultPlanError("latency-window: no impairment configured")
+
+
+@_register
+@dataclass
+class Partition(_Event):
+    """A window during which the switch drops both directions of a pair."""
+
+    duration_us: float = 0.0
+    a: str = "server"
+    b: str = "client1"
+    kind = "partition"
+    windowed = True
+
+    def validate(self) -> None:
+        super().validate()
+        if self.a == self.b:
+            raise FaultPlanError("partition: endpoints must differ")
+
+
+@_register
+@dataclass
+class WorkerCrash(_Event):
+    """Kill one worker process outright (one-shot; SIGKILL-style)."""
+
+    worker: int = 0
+    kind = "worker-crash"
+    windowed = False
+
+    def validate(self) -> None:
+        super().validate()
+        if self.worker < 0:
+            raise FaultPlanError("worker-crash: worker must be >= 0")
+
+
+@_register
+@dataclass
+class WorkerHang(_Event):
+    """Suspend one worker for a window (SIGSTOP-style: it keeps whatever
+    locks and buffer slots it holds, but never gets the CPU)."""
+
+    duration_us: float = 0.0
+    worker: int = 0
+    kind = "worker-hang"
+    windowed = True
+
+    def validate(self) -> None:
+        super().validate()
+        if self.worker < 0:
+            raise FaultPlanError("worker-hang: worker must be >= 0")
+
+
+@_register
+@dataclass
+class IpcStall(_Event):
+    """Freeze one supervisor<->worker channel for a window: senders see a
+    full buffer and receivers an empty one, like a wedged socket."""
+
+    duration_us: float = 0.0
+    channel: str = "assign"  #: "assign" or "req"
+    worker: int = 0
+    kind = "ipc-stall"
+    windowed = True
+
+    def validate(self) -> None:
+        super().validate()
+        if self.channel not in ("assign", "req"):
+            raise FaultPlanError(
+                f"ipc-stall: unknown channel {self.channel!r}")
+        if self.worker < 0:
+            raise FaultPlanError("ipc-stall: worker must be >= 0")
+
+
+#: windowed kinds whose effect stacks on one shared knob, so overlapping
+#: windows of the same kind would make revert order-dependent
+_EXCLUSIVE_KINDS = ("loss-burst", "latency-window")
+
+
+class FaultPlan:
+    """An ordered, validated schedule of fault events."""
+
+    def __init__(self, events: List[_Event]) -> None:
+        self.events = sorted(events, key=lambda e: (e.start_us, e.kind))
+        self.validate()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def validate(self) -> None:
+        for event in self.events:
+            if not isinstance(event, _Event):
+                raise FaultPlanError(f"not a fault event: {event!r}")
+            event.validate()
+        # Same-kind windows on a shared knob must not overlap (the
+        # injector saves/restores the base value per window).
+        for kind in _EXCLUSIVE_KINDS:
+            windows = [e for e in self.events if e.kind == kind]
+            for first, second in zip(windows, windows[1:]):
+                if second.start_us < first.end_us:
+                    raise FaultPlanError(
+                        f"overlapping {kind} windows at "
+                        f"{first.start_us} and {second.start_us}")
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultPlan":
+        events = []
+        for entry in payload.get("events", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            event_cls = _EVENT_TYPES.get(kind)
+            if event_cls is None:
+                raise FaultPlanError(f"unknown fault kind {kind!r}")
+            fields = {f.name for f in dataclasses.fields(event_cls)}
+            unknown = set(entry) - fields
+            if unknown:
+                raise FaultPlanError(
+                    f"{kind}: unknown fields {sorted(unknown)}")
+            events.append(event_cls(**entry))
+        return cls(events)
+
+    def __repr__(self) -> str:
+        kinds = [event.kind for event in self.events]
+        return f"<FaultPlan {kinds}>"

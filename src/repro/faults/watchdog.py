@@ -1,0 +1,119 @@
+"""The supervisor watchdog: detect dead/hung workers and restart them.
+
+Three triggers, checked every period:
+
+- **crash** — the worker process is no longer alive;
+- **deadlock** — a :class:`~repro.faults.deadlock.DeadlockDetector`
+  reports an active cycle involving the worker (restarting the worker
+  drains its channels, which wakes the blocked supervisor — the §6
+  recovery path);
+- **hang** — the worker's heartbeat (stamped at the top of its event
+  loop) is older than ``hang_timeout_us`` *and* the architecture reports
+  pending work for it.  The work-pending gate keeps an idle worker —
+  legitimately silent for seconds — from tripping the timeout.
+
+Recovery itself is the architecture's job
+(``BaseProxyServer.restart_worker``): kill what is left of the process,
+drain its channels, close its descriptor table, invalidate its fd-cache,
+re-dispatch the connections it owned, spawn a replacement.  The watchdog
+only decides *when*, and records every restart in :attr:`restarts`.
+
+Like the detector, ticks are plain engine callbacks with zero simulated
+cost — enabling the watchdog never perturbs a fault-free run.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.kernel.timerwheel import PeriodicTimer
+
+#: default check period (µs of simulated time)
+DEFAULT_PERIOD_US = 50_000.0
+
+#: default heartbeat age treated as a hang (µs of simulated time); far
+#: beyond any healthy fd-request round trip, well inside a measurement
+#: window
+DEFAULT_HANG_TIMEOUT_US = 300_000.0
+
+
+class Watchdog:
+    """Periodic worker-liveness checks with automatic restart."""
+
+    def __init__(self, proxy, period_us: float = DEFAULT_PERIOD_US,
+                 hang_timeout_us: float = DEFAULT_HANG_TIMEOUT_US,
+                 detector=None, tracer=None) -> None:
+        if not getattr(proxy, "supports_restart", False):
+            raise ValueError(
+                f"{type(proxy).__name__} does not support worker restart")
+        self.proxy = proxy
+        self.engine = proxy.engine
+        self.period_us = period_us
+        self.hang_timeout_us = hang_timeout_us
+        self.detector = detector
+        self.tracer = tracer
+        #: JSON-ready restart records, in simulated order
+        self.restarts: List[Dict] = []
+        self.checks = 0
+        self._timer = PeriodicTimer(self.engine, period_us, self._tick)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Watchdog":
+        # Baseline the heartbeats so a worker that has not run yet (the
+        # benchmark may start the watchdog before traffic) is not
+        # instantly "hung".
+        now = self.engine.now
+        heartbeats = self.proxy.worker_heartbeat_us
+        for index in range(len(heartbeats)):
+            heartbeats[index] = max(heartbeats[index], now)
+        self._timer.start()
+        return self
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    def _deadlocked_workers(self) -> set:
+        """Worker indices appearing in currently active wait-for cycles."""
+        if self.detector is None:
+            return set()
+        indices = set()
+        for members in self.detector.active:
+            for member in members:
+                if member.startswith("worker-"):
+                    indices.add(int(member.split("-", 1)[1]))
+        return indices
+
+    def _tick(self) -> None:
+        self.checks += 1
+        now = self.engine.now
+        deadlocked = self._deadlocked_workers()
+        heartbeats = self.proxy.worker_heartbeat_us
+        for index, proc in self.proxy.worker_processes():
+            if not proc.alive:
+                self._restart(index, "crash")
+            elif index in deadlocked:
+                self._restart(index, "deadlock")
+            elif (now - heartbeats[index] >= self.hang_timeout_us
+                  and self.proxy.worker_work_pending(index)):
+                self._restart(index, "hang")
+
+    def _restart(self, index: int, reason: str) -> None:
+        info = self.proxy.restart_worker(index) or {}
+        # Give the replacement a full hang timeout before it can be
+        # flagged again (its own loop re-stamps from the first wake-up).
+        self.proxy.worker_heartbeat_us[index] = self.engine.now
+        record = {"t_us": self.engine.now, "worker": index,
+                  "reason": reason}
+        record.update(info)
+        self.restarts.append(record)
+        if self.tracer is not None:
+            self.tracer.instant("worker_restart", cat="faults",
+                                who="watchdog", worker=index, reason=reason)
+
+    # ------------------------------------------------------------------
+    def gauge_probes(self) -> Dict[str, object]:
+        """Sampler probes (see :mod:`repro.obs.metrics`)."""
+        return {"workers_restarted": lambda: float(len(self.restarts))}
+
+    def __repr__(self) -> str:
+        return (f"<Watchdog period={self.period_us}us "
+                f"restarts={len(self.restarts)}>")

@@ -55,21 +55,26 @@ class IpcMessage:
 class _Direction:
     """One direction of a channel: a bounded FIFO of messages."""
 
-    __slots__ = ("capacity", "queue", "readable_signal", "writable_signal")
+    __slots__ = ("capacity", "queue", "readable_signal", "writable_signal",
+                 "stalled")
 
     def __init__(self, engine, capacity: int, name: str) -> None:
         self.capacity = capacity
         self.queue: Deque[IpcMessage] = collections.deque()
         self.readable_signal = Signal(engine, name=f"{name}.readable")
         self.writable_signal = Signal(engine, name=f"{name}.writable")
+        #: fault injection: a stalled direction accepts no transfers in
+        #: either sense (senders see a full buffer, receivers an empty
+        #: one), like a wedged peer that stopped servicing the socket
+        self.stalled = False
 
     @property
     def full(self) -> bool:
-        return len(self.queue) >= self.capacity
+        return self.stalled or len(self.queue) >= self.capacity
 
     @property
     def empty(self) -> bool:
-        return not self.queue
+        return self.stalled or not self.queue
 
 
 class IpcEndpoint:
@@ -128,12 +133,17 @@ class IpcEndpoint:
     def try_send(self, msg: IpcMessage) -> bool:
         if self._out.full:
             return False
+        # A successful transfer proves this endpoint is not wedged; a
+        # marker left by an earlier blocking call is stale and would show
+        # the deadlock detector a phantom permanently-blocked endpoint.
+        self.blocked_sending_since = None
         self._enqueue(msg)
         return True
 
     def try_recv(self) -> Optional[IpcMessage]:
         if self._in.empty:
             return None
+        self.blocked_receiving_since = None
         return self._dequeue()
 
     # -- internals ---------------------------------------------------------
@@ -177,14 +187,51 @@ class IpcChannel:
         #: optional span tracer (endpoints reach it via the channel; a
         #: None tracer keeps the blocking paths emission-free)
         self.tracer = tracer
-        a_to_b = _Direction(engine, capacity, f"{name}.a2b")
-        b_to_a = _Direction(engine, capacity, f"{name}.b2a")
-        self.a = IpcEndpoint(self, a_to_b, b_to_a, f"{name}.a")
-        self.b = IpcEndpoint(self, b_to_a, a_to_b, f"{name}.b")
+        self._a2b = _Direction(engine, capacity, f"{name}.a2b")
+        self._b2a = _Direction(engine, capacity, f"{name}.b2a")
+        self.a = IpcEndpoint(self, self._a2b, self._b2a, f"{name}.a")
+        self.b = IpcEndpoint(self, self._b2a, self._a2b, f"{name}.b")
 
     def pending_total(self) -> int:
         """Messages queued in both directions (the sampler's depth gauge)."""
         return self.a.pending() + self.b.pending()
+
+    # -- fault injection ---------------------------------------------------
+    @property
+    def stalled(self) -> bool:
+        return self._a2b.stalled or self._b2a.stalled
+
+    def stall(self) -> None:
+        """Freeze both directions (no transfers complete until unstall)."""
+        self._a2b.stalled = True
+        self._b2a.stalled = True
+
+    def unstall(self) -> None:
+        """Thaw the channel and wake anyone the stall left blocked."""
+        for direction in (self._a2b, self._b2a):
+            if not direction.stalled:
+                continue
+            direction.stalled = False
+            if direction.queue:
+                direction.readable_signal.fire()
+            if len(direction.queue) < direction.capacity:
+                direction.writable_signal.fire()
+
+    def drain(self) -> int:
+        """Discard every queued message (dropping queue fd references);
+        returns how many were discarded.  Used when a worker is restarted
+        and its in-flight traffic is no longer meaningful."""
+        dropped = 0
+        for direction in (self._a2b, self._b2a):
+            while direction.queue:
+                msg = direction.queue.popleft()
+                if msg.fd is not None:
+                    msg.fd.description.decref()
+                dropped += 1
+            if not direction.stalled and \
+                    len(direction.queue) < direction.capacity:
+                direction.writable_signal.fire()
+        return dropped
 
     def __repr__(self) -> str:
         return f"<IpcChannel {self.name}>"

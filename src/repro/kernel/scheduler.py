@@ -177,6 +177,8 @@ class Scheduler:
         """A process woke up (or was forked) and wants the CPU."""
         if proc.in_runqueue or proc.core is not None or not proc.alive:
             return
+        if proc.suspended:
+            return  # fault injection: hung processes never get the CPU
         if proc.parked:
             return  # waiting out an expired-array epoch
         if proc.blocked_at is not None:
@@ -398,6 +400,39 @@ class Scheduler:
         return best
 
     # ------------------------------------------------------------------
+    # fault injection: hangs
+    # ------------------------------------------------------------------
+    def suspend(self, proc: "KernelProcess") -> None:
+        """Stop giving ``proc`` the CPU (a SIGSTOP-style hang).
+
+        A running process is evicted mid-slice (partial time charged);
+        a queued one is lazily removed.  The process keeps advancing
+        through non-CPU effects until its next ``Compute``, then stalls
+        holding whatever locks/buffers it holds — exactly the failure a
+        watchdog must detect from the outside.
+        """
+        if proc.suspended or not proc.alive:
+            return
+        proc.suspended = True
+        if proc.core is not None:
+            self._preempt(proc.core)
+            self._fill_core_any()
+        proc.in_runqueue = False  # lazy heap removal (_pop_ready skips)
+
+    def resume(self, proc: "KernelProcess") -> None:
+        """Undo :meth:`suspend`; the process competes for the CPU again."""
+        if not proc.suspended:
+            return
+        proc.suspended = False
+        if proc.alive and proc.pending is not None:
+            self.make_ready(proc)
+
+    def _fill_core_any(self) -> None:
+        idle = self._idle_core()
+        if idle is not None:
+            self._fill_core(idle)
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def total_busy_us(self) -> float:
@@ -434,6 +469,8 @@ class KernelProcess(SimProcess):
         self.blocked_at: Optional[float] = None
         self.parked = False
         self.epochs_parked = 0
+        #: fault injection: a suspended (hung) process never runs
+        self.suspended = False
         #: [remaining_us, label] of the in-progress Compute, if any
         self.pending: Optional[list] = None
         #: attached by Machine.spawn

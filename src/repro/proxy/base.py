@@ -41,6 +41,11 @@ class BaseProxyServer:
         self.core.controller = self.controller
         self.processes: List = []
         self.started = False
+        #: per-worker liveness stamps, written at the top of each worker
+        #: loop iteration (zero simulated cost); the watchdog's hang check
+        self.worker_heartbeat_us: List[float] = [0.0] * config.workers
+        #: set by architectures implementing :meth:`restart_worker`
+        self.supports_restart = False
 
     # ------------------------------------------------------------------
     def start(self) -> "BaseProxyServer":
@@ -71,6 +76,40 @@ class BaseProxyServer:
         controllers' panic signal; transports with a meaningful receive
         queue override this."""
         return 0.0
+
+    # ------------------------------------------------------------------
+    # fault-injection / watchdog surface (see :mod:`repro.faults`)
+    # ------------------------------------------------------------------
+    def worker_processes(self):
+        """``[(index, KernelProcess), ...]`` for restartable workers;
+        architectures without a process-per-worker model return []."""
+        return []
+
+    def worker_work_pending(self, index: int) -> bool:
+        """Whether worker ``index`` has undrained input (the watchdog's
+        hang check only fires for workers that *should* be running)."""
+        return False
+
+    def ipc_topology(self):
+        """``[(endpoint, owner, peer), ...]`` for the deadlock detector:
+        ``owner`` blocked on ``endpoint`` waits on ``peer``.  Empty for
+        architectures without blocking IPC."""
+        return []
+
+    def crash_worker(self, index: int):
+        """Fault injection: kill worker ``index`` outright (no cleanup —
+        detecting and repairing the damage is the watchdog's job)."""
+        for i, proc in self.worker_processes():
+            if i == index:
+                proc.kill()
+                return proc
+        raise ValueError(f"no worker {index} to crash")
+
+    def restart_worker(self, index: int):
+        """Replace a dead/hung worker; architectures that support it
+        return a JSON-ready summary of the repair."""
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot restart workers")
 
     # ------------------------------------------------------------------
     # the timer process (§3: essential for UDP, superfluous-but-present

@@ -44,6 +44,10 @@ class ProxyStats:
         self.idle_scans = 0
         self.pq_operations = 0
         self.send_failures = 0
+        # fault recovery (watchdog restarts)
+        self.workers_restarted = 0
+        self.conns_redispatched = 0
+        self.conns_shed_on_restart = 0
 
     def snapshot(self) -> Dict[str, float]:
         """A copy of all numeric counters (for windowed measurements).

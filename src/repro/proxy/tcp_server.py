@@ -70,6 +70,7 @@ class TcpProxyServer(BaseProxyServer):
         self._worker_procs: List = []
         self._sup_proc = None
         self._assign_rr = 0
+        self.supports_restart = True
         tracer = self.tracer
         if tracer is not None:
             for chan in self.assign_chans + self.req_chans:
@@ -87,6 +88,90 @@ class TcpProxyServer(BaseProxyServer):
         chans = self.assign_chans + self.req_chans
         pending = sum(chan.pending_total() for chan in chans)
         return pending / (self.config.ipc_capacity * len(chans))
+
+    # -- fault-injection / watchdog surface -----------------------------
+    def worker_processes(self):
+        return list(enumerate(self._worker_procs))
+
+    def worker_work_pending(self, index: int) -> bool:
+        if (self.assign_chans[index].pending_total() +
+                self.req_chans[index].pending_total()) > 0:
+            return True
+        # A hung worker's starvation shows up on the connections it owns
+        # (phones keep writing), not on its IPC queues.
+        return any(record.conn.readable()
+                   for record in self.conn_table.all_records()
+                   if record.owner == index and not record.closed
+                   and not record.released)
+
+    def ipc_topology(self):
+        """The §6 wait-for edges: the supervisor blocked on a channel
+        waits on that channel's worker, and vice versa."""
+        topo = []
+        for index in range(self.config.workers):
+            worker = f"worker-{index}"
+            topo.append((self.assign_chans[index].a, "supervisor", worker))
+            topo.append((self.assign_chans[index].b, worker, "supervisor"))
+            topo.append((self.req_chans[index].a, worker, "supervisor"))
+            topo.append((self.req_chans[index].b, "supervisor", worker))
+        return topo
+
+    def restart_worker(self, index: int):
+        """Replace worker ``index``: reap the process, drop its in-flight
+        IPC, close its descriptors, invalidate its fd-cache, re-dispatch
+        the connections it owned, spawn a successor.
+
+        Draining the assign channel fires its writable signal, which
+        un-wedges a supervisor blocked in the §6 deadlock."""
+        engine = self.engine
+        who = f"tcp-worker-{index}"
+        old = self._worker_procs[index]
+        old.kill()
+        # kill() closes the generator, so finally-blocks normally release
+        # any held spinlock; a worker suspended *inside* acquire/release
+        # cannot run its cleanup, so force-break the lock like a robust
+        # futex would.
+        for lock in (self.conn_table.lock, self.txn_table.lock,
+                     self.timer_list.lock, getattr(self.idle, "lock", None)):
+            if lock is not None and lock.held and lock.owner == who:
+                lock.release()
+        # In-flight messages reference descriptors and a dead peer;
+        # drain both channels (dropping queue fd references) before the
+        # successor attaches.
+        self.assign_chans[index].drain()
+        self.req_chans[index].drain()
+        # Close everything the dead worker held: its owned-connection
+        # fds and its fd-cache entries must not pin sockets open.  The
+        # supervisor's copies keep live connections alive.
+        if old.fdtable is not None:
+            old.fdtable.close_all()
+        self.fd_caches[index] = None
+        proc = self.machine.spawn(self._worker_body(index), who,
+                                  nice=self.config.worker_nice)
+        self._worker_procs[index] = proc
+        self.processes[self.processes.index(old)] = proc
+        proc.start()
+        # Re-dispatch the connections the dead worker owned so their
+        # phones see service again instead of a silent socket.
+        redispatched = shed = 0
+        endpoint = self.assign_chans[index].a
+        for record in self.conn_table.all_records():
+            if record.owner != index or record.closed or record.released:
+                continue
+            if record.desc.closed or record.sup_fd is None or \
+                    not endpoint.try_send(IpcMessage(
+                        "assign", payload=record, fd=FdPayload(record.desc))):
+                # Unrecoverable (or buffer full): surrender the record to
+                # the supervisor's idle teardown.
+                record.released = True
+                record.released_at = engine.now
+                shed += 1
+            else:
+                redispatched += 1
+        self.stats.workers_restarted += 1
+        self.stats.conns_redispatched += redispatched
+        self.stats.conns_shed_on_restart += shed
+        return {"redispatched": redispatched, "shed": shed}
 
     def _spawn_processes(self) -> None:
         self._sup_proc = self.machine.spawn(
@@ -249,8 +334,11 @@ class TcpProxyServer(BaseProxyServer):
         poller.add(tick)
         owned: Dict[object, _OwnedConn] = {}
         ctx = _WorkerCtx(index, who, fdtable, cache, req_ep, poller, owned)
+        heartbeats = self.worker_heartbeat_us
         while True:
+            heartbeats[index] = engine.now
             ready = yield from poller.wait()
+            heartbeats[index] = engine.now
             yield Compute(self.costs.poll_syscall_us +
                           self.costs.poll_per_fd_us * len(poller.sources),
                           "epoll_wait")

@@ -65,6 +65,7 @@ class ThreadedTcpProxyServer(BaseProxyServer):
             for i in range(config.workers)
         ]
         self._acceptor_proc = None
+        self._thread_procs: List = []
         self._assign_rr = 0
 
     def _spawn_processes(self) -> None:
@@ -73,11 +74,19 @@ class ThreadedTcpProxyServer(BaseProxyServer):
             nice=self.config.worker_nice)
         self.processes.append(self._acceptor_proc)
         for index in range(self.config.workers):
-            self.processes.append(self.machine.spawn(
+            proc = self.machine.spawn(
                 self._thread_body(index), f"tcp-thread-{index}",
-                nice=self.config.worker_nice))
+                nice=self.config.worker_nice)
+            self._thread_procs.append(proc)
+            self.processes.append(proc)
         self.processes.append(self.machine.spawn(
             self._timer_body(), "timer-proc", nice=self.config.worker_nice))
+
+    def worker_processes(self):
+        """Crash/hang injection targets; threads share one address space
+        and descriptor table, so there is no safe restart path
+        (``supports_restart`` stays False)."""
+        return list(enumerate(self._thread_procs))
 
     @property
     def fdtable(self):

@@ -20,6 +20,8 @@ class UdpProxyServer(BaseProxyServer):
         super().__init__(machine, config, costs)
         self.socket = UdpEndpoint(machine, config.port,
                                   rcvbuf_datagrams=config.udp_rcvbuf_datagrams)
+        self._worker_procs = []
+        self.supports_restart = True
 
     def queue_fill(self) -> float:
         """Socket receive-buffer fill — the UDP overload panic signal:
@@ -30,17 +32,53 @@ class UdpProxyServer(BaseProxyServer):
 
     def _spawn_processes(self) -> None:
         for index in range(self.config.workers):
-            self.processes.append(self.machine.spawn(
+            proc = self.machine.spawn(
                 self._worker_body(index), f"udp-worker-{index}",
-                nice=self.config.worker_nice))
+                nice=self.config.worker_nice)
+            self._worker_procs.append(proc)
+            self.processes.append(proc)
         self.processes.append(self.machine.spawn(
             self._timer_body(), "timer-proc", nice=self.config.worker_nice))
+
+    # -- fault-injection / watchdog surface -----------------------------
+    def worker_processes(self):
+        return list(enumerate(self._worker_procs))
+
+    def worker_work_pending(self, index: int) -> bool:
+        # Symmetric workers share the socket: any receive backlog is
+        # work this worker should be helping drain.
+        return len(self.socket.buffer.queue) > 0
+
+    def restart_worker(self, index: int):
+        """Replace worker ``index``.  UDP workers hold no connection
+        state, so recovery is just reap + respawn; the socket's backlog
+        carries over untouched."""
+        who = f"udp-worker-{index}"
+        old = self._worker_procs[index]
+        old.kill()
+        # See TcpProxyServer.restart_worker: break any lock a suspended
+        # worker died holding (kill() handles the common case).
+        for lock in (self.txn_table.lock, self.timer_list.lock):
+            if lock.held and lock.owner == who:
+                lock.release()
+        if old.fdtable is not None:
+            old.fdtable.close_all()
+        proc = self.machine.spawn(self._worker_body(index), who,
+                                  nice=self.config.worker_nice)
+        self._worker_procs[index] = proc
+        self.processes[self.processes.index(old)] = proc
+        proc.start()
+        self.stats.workers_restarted += 1
+        return {}
 
     # ------------------------------------------------------------------
     def _worker_body(self, index: int):
         who = f"udp-worker-{index}"
+        heartbeats = self.worker_heartbeat_us
         while True:
+            heartbeats[index] = self.engine.now
             dgram = yield from self.socket.recvfrom()
+            heartbeats[index] = self.engine.now
             yield Compute(self.costs.udp_recv_us, "udp_rcv_loop")
             actions = yield from self.core.process(
                 dgram.payload, source=dgram.source, who=who)

@@ -1,0 +1,376 @@
+"""The fault subsystem: plan DSL, injector, deadlock detector, watchdog.
+
+Integration tests reuse the §6 wedge configuration from
+test_integration_deadlock.py: tiny IPC buffers + blocking supervisor
+sends under connection churn reliably form the supervisor↔worker cycle.
+"""
+
+import json
+
+import pytest
+
+from repro import ProxyConfig, Testbed, Workload, build_proxy
+from repro.clients import BenchmarkManager
+from repro.faults import (DeadlockDetector, FaultInjector, FaultPlan,
+                          FaultPlanError, IpcStall, LatencyWindow, LossBurst,
+                          Partition, Watchdog, WorkerCrash, WorkerHang)
+from repro.faults.deadlock import _sccs
+
+
+# ======================================================================
+# plan DSL
+# ======================================================================
+def full_plan():
+    return FaultPlan([
+        LossBurst(start_us=10_000, duration_us=5_000, loss_rate=0.5),
+        LatencyWindow(start_us=30_000, duration_us=5_000,
+                      extra_latency_us=200.0, extra_jitter_us=50.0),
+        Partition(start_us=50_000, duration_us=5_000, a="server",
+                  b="client1"),
+        WorkerCrash(start_us=70_000, worker=1),
+        WorkerHang(start_us=80_000, duration_us=10_000, worker=2),
+        IpcStall(start_us=90_000, duration_us=10_000, channel="assign"),
+    ])
+
+
+def test_plan_round_trips_through_json():
+    plan = full_plan()
+    payload = json.loads(json.dumps(plan.to_dict()))
+    assert FaultPlan.from_dict(payload).to_dict() == plan.to_dict()
+
+
+def test_plan_orders_events_by_start_time():
+    plan = FaultPlan([WorkerCrash(start_us=500), WorkerCrash(start_us=100)])
+    assert [event.start_us for event in plan] == [100, 500]
+
+
+@pytest.mark.parametrize("events", [
+    [LossBurst(start_us=-1, duration_us=5)],
+    [LossBurst(start_us=0, duration_us=0)],
+    [LossBurst(start_us=0, duration_us=5, loss_rate=1.5)],
+    [LossBurst(start_us=0, duration_us=10),
+     LossBurst(start_us=5, duration_us=10)],  # overlapping windows
+    [LatencyWindow(start_us=0, duration_us=5)],  # no impairment
+    [Partition(start_us=0, duration_us=5, a="x", b="x")],
+    [IpcStall(start_us=0, duration_us=5, channel="bogus")],
+    [WorkerHang(start_us=0, duration_us=5, worker=-1)],
+])
+def test_plan_validation_rejects(events):
+    with pytest.raises(FaultPlanError):
+        FaultPlan(events)
+
+
+def test_from_dict_rejects_unknown_kinds_and_fields():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"events": [{"kind": "meteor", "start_us": 0}]})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"events": [
+            {"kind": "worker-crash", "start_us": 0, "blast_radius": 3}]})
+
+
+# ======================================================================
+# injector: fabric-level windows
+# ======================================================================
+def test_injector_applies_and_reverts_fabric_windows():
+    bed = Testbed(seed=1)
+    proxy = build_proxy(bed.server, ProxyConfig(
+        transport="tcp", workers=2)).start()
+    plan = FaultPlan([
+        LossBurst(start_us=10_000, duration_us=20_000, loss_rate=0.9),
+        LatencyWindow(start_us=40_000, duration_us=20_000,
+                      extra_latency_us=300.0),
+        Partition(start_us=70_000, duration_us=20_000,
+                  a="server", b="client1"),
+    ])
+    injector = FaultInjector(bed, proxy, plan).arm(bed.engine.now)
+    bed.engine.run(until=bed.engine.now + 15_000)
+    assert bed.fabric.loss_rate == 0.9
+    bed.engine.run(until=bed.engine.now + 20_000)
+    assert bed.fabric.loss_rate == 0.0
+    bed.engine.run(until=bed.engine.now + 15_000)   # t=50k
+    assert bed.fabric.extra_latency_us == 300.0
+    bed.engine.run(until=bed.engine.now + 25_000)   # t=75k
+    assert bed.fabric.extra_latency_us == 0.0
+    assert bed.fabric.partitioned("server", "client1")
+    assert bed.fabric.partitioned("client1", "server")
+    bed.engine.run(until=bed.engine.now + 20_000)   # t=95k
+    assert not bed.fabric.partitioned("server", "client1")
+    actions = [(entry["action"], entry["kind"]) for entry in injector.log]
+    assert actions == [
+        ("apply", "loss-burst"), ("revert", "loss-burst"),
+        ("apply", "latency-window"), ("revert", "latency-window"),
+        ("apply", "partition"), ("revert", "partition"),
+    ]
+
+
+def test_injector_rejects_nonexistent_worker():
+    bed = Testbed(seed=1)
+    proxy = build_proxy(bed.server, ProxyConfig(
+        transport="tcp", workers=2)).start()
+    plan = FaultPlan([WorkerCrash(start_us=0, worker=99)])
+    FaultInjector(bed, proxy, plan).arm(bed.engine.now)
+    with pytest.raises(ValueError):
+        bed.engine.run(until=bed.engine.now + 1_000)
+    plan = FaultPlan([WorkerHang(start_us=0, duration_us=10, worker=99)])
+    bed2 = Testbed(seed=1)
+    proxy2 = build_proxy(bed2.server, ProxyConfig(
+        transport="tcp", workers=2)).start()
+    FaultInjector(bed2, proxy2, plan).arm(bed2.engine.now)
+    with pytest.raises(FaultPlanError):
+        bed2.engine.run(until=bed2.engine.now + 1_000)
+
+
+# ======================================================================
+# deadlock detector: graph mechanics on synthetic endpoints
+# ======================================================================
+class _StubEndpoint:
+    def __init__(self):
+        self.blocked_sending_since = None
+        self.blocked_receiving_since = None
+
+
+def test_sccs_finds_cycles_not_chains():
+    assert _sccs({"a": {"b"}, "b": {"a"}}) == [frozenset({"a", "b"})]
+    assert _sccs({"a": {"b"}, "b": {"c"}}) == []          # a chain
+    assert _sccs({"a": {"a"}}) == [frozenset({"a"})]      # self-wait
+    three = _sccs({"a": {"b"}, "b": {"c"}, "c": {"a"}})
+    assert three == [frozenset({"a", "b", "c"})]
+
+
+def test_detector_ignores_one_sided_backpressure(engine):
+    """A supervisor blocked on a slow-but-runnable worker is not a
+    deadlock: there is no edge back."""
+    sup = _StubEndpoint()
+    detector = DeadlockDetector(engine)
+    detector.watch(sup, "supervisor", "worker-0")
+    sup.blocked_sending_since = 0.0
+    engine.run(until=1.0)
+    assert detector.scan() == []
+    assert detector.detections == []
+
+
+def test_detector_fires_once_and_refires_after_dissolve(engine):
+    sup, wrk = _StubEndpoint(), _StubEndpoint()
+    detector = DeadlockDetector(engine)
+    detector.watch(sup, "supervisor", "worker-0")
+    detector.watch(wrk, "worker-0", "supervisor")
+    sup.blocked_sending_since = 0.0
+    wrk.blocked_receiving_since = 0.0
+    engine.run(until=1.0)
+    assert len(detector.scan()) == 1
+    assert detector.scan() == []              # same cycle: no re-report
+    wrk.blocked_receiving_since = None        # cycle dissolves...
+    assert detector.scan() == []
+    wrk.blocked_receiving_since = 0.5         # ...and re-forms
+    assert len(detector.scan()) == 1
+    assert len(detector.detections) == 2
+
+
+def test_detector_min_blocked_filter(engine):
+    sup, wrk = _StubEndpoint(), _StubEndpoint()
+    detector = DeadlockDetector(engine, min_blocked_us=100.0)
+    detector.watch(sup, "supervisor", "worker-0")
+    detector.watch(wrk, "worker-0", "supervisor")
+    sup.blocked_sending_since = 0.0
+    wrk.blocked_receiving_since = 0.0
+    engine.run(until=50.0)
+    assert detector.scan() == []              # too young
+    engine.run(until=200.0)
+    assert len(detector.scan()) == 1
+
+
+# ======================================================================
+# the §6 cycle, end to end
+# ======================================================================
+def wedge_run(seed=11, watchdog=False):
+    bed = Testbed(seed=seed)
+    proxy = build_proxy(bed.server, ProxyConfig(
+        transport="tcp", workers=2, ipc_capacity=1,
+        supervisor_blocking_send=True)).start()
+    detector = DeadlockDetector(bed.engine).watch_proxy(proxy).start()
+    dog = (Watchdog(proxy, detector=detector).start()
+           if watchdog else None)
+    workload = Workload(clients=12, ops_per_conn=2, warmup_us=50_000.0,
+                        measure_us=400_000.0,
+                        register_deadline_us=6_000_000.0)
+    manager = BenchmarkManager(bed, proxy, workload)
+    manager.setup_phones()
+    try:
+        result = manager.run()
+        ops = result.ops
+    except RuntimeError:
+        ops = 0  # registration never completed: the server wedged
+    bed.engine.run(until=bed.engine.now + 1_000_000.0)
+    return bed, proxy, detector, dog, ops
+
+
+def test_detector_fires_on_the_section6_cycle():
+    bed, proxy, detector, __, __ = wedge_run()
+    assert len(detector.detections) == 1
+    record = detector.detections[0]
+    assert "supervisor" in record["members"]
+    assert any(m.startswith("worker-") for m in record["members"])
+    # Detection lag is bounded by one scan period: the cycle's youngest
+    # edge formed within period_us of the detection timestamp... plus
+    # the worker->supervisor edge may predate it, which blocked_us
+    # reflects (it measures the *youngest* edge).
+    assert record["blocked_us"] <= detector.period_us
+
+
+def test_detection_timestamp_is_deterministic():
+    first = wedge_run()[2].detections
+    second = wedge_run()[2].detections
+    assert first == second
+
+
+def test_detector_quiet_on_healthy_run():
+    """Ample buffers: blocking sends cause only transient backpressure,
+    which must produce zero detections."""
+    bed = Testbed(seed=11)
+    proxy = build_proxy(bed.server, ProxyConfig(
+        transport="tcp", workers=2, ipc_capacity=256,
+        supervisor_blocking_send=True)).start()
+    detector = DeadlockDetector(bed.engine).watch_proxy(proxy).start()
+    workload = Workload(clients=8, ops_per_conn=2, warmup_us=50_000.0,
+                        measure_us=200_000.0,
+                        register_deadline_us=6_000_000.0)
+    manager = BenchmarkManager(bed, proxy, workload)
+    manager.setup_phones()
+    result = manager.run()
+    assert result.ops > 0
+    assert detector.scans > 0
+    assert detector.detections == []
+
+
+def test_watchdog_recovers_the_section6_deadlock():
+    bed, proxy, detector, dog, ops = wedge_run(watchdog=True)
+    assert ops > 0, "watchdog failed to unwedge the server"
+    assert any(r["reason"] == "deadlock" for r in dog.restarts)
+    assert proxy.stats.workers_restarted >= 1
+    # The supervisor is no longer blocked on any assign channel.
+    assert all(chan.a.blocked_sending_since is None
+               for chan in proxy.assign_chans)
+
+
+# ======================================================================
+# watchdog: crash and hang recovery through run_cell
+# ======================================================================
+def crash_spec(watchdog, **overrides):
+    from repro.analysis.experiments import ExperimentSpec
+    plan = FaultPlan([WorkerCrash(start_us=150_000.0, worker=0)])
+    kw = dict(series="tcp-persistent", clients=16, seed=3, workers=4,
+              warmup_us=200_000.0, measure_us=600_000.0,
+              sip_t1_us=20_000.0, offered_cps=400.0, sample_us=10_000.0,
+              scale_windows=False, fault_plan=plan.to_dict(),
+              detect_deadlocks=True, watchdog=watchdog)
+    kw.update(overrides)
+    return ExperimentSpec(**kw)
+
+
+def test_worker_crash_with_watchdog_restarts_and_redispatches():
+    from repro.analysis.experiments import run_cell
+    result = run_cell(crash_spec(watchdog=True, fd_cache=True))
+    faults = result.faults
+    assert [e["kind"] for e in faults["injected"]] == ["worker-crash"]
+    restarts = faults["restarts"]
+    assert len(restarts) == 1 and restarts[0]["reason"] == "crash"
+    assert restarts[0]["redispatched"] > 0
+    # The replacement worker got a fresh process slot and fd cache.
+    proxy = result.proxy
+    assert proxy.stats.workers_restarted == 1
+    assert all(proc.alive for __, proc in proxy.worker_processes())
+    assert proxy.fd_caches[0] is not None
+
+
+def test_worker_crash_without_watchdog_loses_goodput():
+    """The crashed worker's share of round-robin assignments stays dark
+    without recovery; with the watchdog the loss is repaired."""
+    from repro.analysis.experiments import run_cell
+    from repro.obs.metrics import series_window_mean
+
+    def post_over_pre(result):
+        t0, t_end = result.metrics["window_us"]
+        pre = series_window_mean(result.metrics, "client_goodput_cps",
+                                 from_us=t0, to_us=t0 + 150_000.0)
+        post = series_window_mean(result.metrics, "client_goodput_cps",
+                                  from_us=t0 + 350_000.0, to_us=t_end)
+        return post / pre
+
+    unprotected = post_over_pre(run_cell(crash_spec(watchdog=False)))
+    protected = post_over_pre(run_cell(crash_spec(watchdog=True)))
+    assert unprotected < 0.8
+    assert protected >= 0.9
+    assert protected > unprotected
+
+
+def test_worker_hang_is_detected_and_restarted():
+    from repro.analysis.experiments import run_cell
+    plan = FaultPlan([WorkerHang(start_us=150_000.0, duration_us=500_000.0,
+                                 worker=1)])
+    result = run_cell(crash_spec(watchdog=True, fault_plan=plan.to_dict(),
+                                 measure_us=800_000.0))
+    restarts = result.faults["restarts"]
+    assert any(r["reason"] == "hang" for r in restarts)
+    assert result.calls_completed > 0
+
+
+def test_udp_worker_crash_restart():
+    from repro.analysis.experiments import ExperimentSpec, run_cell
+    plan = FaultPlan([WorkerCrash(start_us=100_000.0, worker=2)])
+    result = run_cell(ExperimentSpec(
+        series="udp", clients=16, seed=3, workers=6,
+        warmup_us=150_000.0, measure_us=400_000.0, sip_t1_us=20_000.0,
+        offered_cps=400.0, sample_us=10_000.0, scale_windows=False,
+        fault_plan=plan.to_dict(), watchdog=True))
+    restarts = result.faults["restarts"]
+    assert len(restarts) == 1 and restarts[0]["reason"] == "crash"
+    assert result.proxy.stats.workers_restarted == 1
+    assert result.calls_completed > 0
+
+
+def test_ipc_stall_wedges_and_recovers():
+    """Stalling a worker's assign channel mimics a wedged socketpair;
+    unstalling wakes the blocked parties and traffic resumes."""
+    from repro.analysis.experiments import run_cell
+    plan = FaultPlan([IpcStall(start_us=150_000.0, duration_us=100_000.0,
+                               channel="assign", worker=0)])
+    result = run_cell(crash_spec(watchdog=False,
+                                 fault_plan=plan.to_dict()))
+    actions = [(e["action"], e["kind"]) for e in result.faults["injected"]]
+    assert actions == [("apply", "ipc-stall"), ("revert", "ipc-stall")]
+    assert result.calls_completed > 0
+
+
+# ======================================================================
+# the figure (slow acceptance)
+# ======================================================================
+@pytest.mark.slow
+def test_fig_faults_recovery_ratio(tmp_path):
+    """Acceptance: with the watchdog a worker-crash run recovers to
+    >= 90% of pre-fault goodput; without it, it does not."""
+    from repro.analysis.cache import ResultCache
+    from repro.analysis.faults import render_faults_figure, run_faults_figure
+
+    data = run_faults_figure(clients=16, workers=4, seed=3,
+                             cache=ResultCache(tmp_path / "cache"))
+    cells = data["grid"]["tcp-persistent"]
+    on, off = cells["watchdog-on"], cells["watchdog-off"]
+    assert on["recovery_ratio"] >= 0.9
+    assert off["recovery_ratio"] < on["recovery_ratio"]
+    assert len(on["restarts"]) == 1
+    assert on["restarts"][0]["reason"] == "crash"
+    text = render_faults_figure(data)
+    assert "watchdog-on" in text and "worker-crash" in text
+
+
+@pytest.mark.slow
+def test_fig_faults_cli_smoke(tmp_path, monkeypatch, capsys):
+    from repro.__main__ import main
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    out_json = tmp_path / "faults.json"
+    assert main(["fig-faults", "--smoke", "--workers", "4", "--seed", "3",
+                 "--json", str(out_json), "--jobs", "1"]) == 0
+    data = json.loads(out_json.read_text())
+    assert data["grid"]["tcp-persistent"]["watchdog-on"]["recovery_ratio"] \
+        >= 0.9
+    assert "recovery" in capsys.readouterr().out

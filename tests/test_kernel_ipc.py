@@ -179,3 +179,120 @@ def test_blocking_send_deadlock_scenario(engine):
 def test_capacity_must_be_positive(engine):
     with pytest.raises(ValueError):
         IpcChannel(engine, capacity=0)
+
+
+# ----------------------------------------------------------------------
+# blocked-marker hygiene (the deadlock detector's input)
+# ----------------------------------------------------------------------
+def test_try_send_clears_stale_blocked_marker(engine):
+    chan = IpcChannel(engine, capacity=1)
+    chan.a.blocked_sending_since = 10.0  # left by an earlier blocking send
+    assert chan.a.try_send(IpcMessage("m"))
+    assert chan.a.blocked_sending_since is None
+
+
+def test_try_recv_clears_stale_blocked_marker(engine):
+    chan = IpcChannel(engine, capacity=1)
+    assert chan.a.try_send(IpcMessage("m"))
+    chan.b.blocked_receiving_since = 10.0
+    assert chan.b.try_recv().kind == "m"
+    assert chan.b.blocked_receiving_since is None
+
+
+def test_failed_try_ops_leave_markers_alone(engine):
+    """An unsuccessful non-blocking op proves nothing about wedging."""
+    chan = IpcChannel(engine, capacity=1)
+    chan.b.blocked_receiving_since = 10.0
+    assert chan.b.try_recv() is None
+    assert chan.b.blocked_receiving_since == 10.0
+    assert chan.a.try_send(IpcMessage("fill"))
+    chan.a.blocked_sending_since = 20.0
+    assert not chan.a.try_send(IpcMessage("overflow"))
+    assert chan.a.blocked_sending_since == 20.0
+
+
+def test_blocking_ops_clear_markers_on_completion(engine):
+    chan = IpcChannel(engine, capacity=1)
+
+    def sender():
+        yield from chan.a.send(IpcMessage("one"))
+        yield from chan.a.send(IpcMessage("two"))  # blocks until recv
+
+    def receiver():
+        yield Compute(500.0)
+        yield from chan.b.recv()
+        yield from chan.b.recv()
+
+    s = SimProcess(engine, sender(), "s").start()
+    r = SimProcess(engine, receiver(), "r").start()
+    engine.run(until=250.0)
+    assert chan.a.blocked_sending_since is not None  # mid-block
+    run_until_done(engine, [s, r])
+    assert chan.a.blocked_sending_since is None
+    assert chan.b.blocked_receiving_since is None
+
+
+# ----------------------------------------------------------------------
+# stall / unstall / drain (fault injection + worker restart)
+# ----------------------------------------------------------------------
+def test_stalled_channel_blocks_both_sides(engine):
+    chan = IpcChannel(engine, capacity=4)
+    assert chan.a.try_send(IpcMessage("queued"))
+    chan.stall()
+    assert chan.stalled
+    # Stalled: appears full to senders and empty to receivers.
+    assert not chan.a.try_send(IpcMessage("rejected"))
+    assert chan.b.try_recv() is None
+    chan.unstall()
+    assert not chan.stalled
+    assert chan.b.try_recv().kind == "queued"
+
+
+def test_unstall_wakes_blocked_parties(engine):
+    chan = IpcChannel(engine, capacity=4)
+    chan.stall()
+    got = []
+
+    def sender():
+        yield from chan.a.send(IpcMessage("m"))
+        got.append(("sent", engine.now))
+
+    def receiver():
+        msg = yield from chan.b.recv()
+        got.append(("got-" + msg.kind, engine.now))
+
+    s = SimProcess(engine, sender(), "s").start()
+    r = SimProcess(engine, receiver(), "r").start()
+    engine.schedule_at(400.0, chan.unstall)
+    run_until_done(engine, [s, r])
+    assert got == [("sent", 400.0), ("got-m", 400.0)]
+
+
+def test_drain_discards_messages_and_fd_references(engine):
+    chan = IpcChannel(engine, capacity=8)
+    table = FdTable(owner="t")
+    desc = FileDescription(None, kind="socket")
+    fd = table.install(desc)
+    assert chan.a.try_send(IpcMessage("take", fd=FdPayload(desc)))
+    assert chan.b.try_send(IpcMessage("back"))
+    refs_before = desc.refs
+    assert chan.drain() == 2
+    assert desc.refs == refs_before - 1  # queued SCM ref dropped
+    assert chan.pending_total() == 0
+    assert chan.a.try_recv() is None and chan.b.try_recv() is None
+    table.close(fd)  # the table's own reference still stands
+
+
+def test_drain_unblocks_a_blocked_sender(engine):
+    chan = IpcChannel(engine, capacity=1)
+    done = []
+
+    def sender():
+        yield from chan.a.send(IpcMessage("one"))
+        yield from chan.a.send(IpcMessage("two"))  # blocks: full
+        done.append(engine.now)
+
+    s = SimProcess(engine, sender(), "s").start()
+    engine.schedule_at(300.0, chan.drain)
+    run_until_done(engine, [s])
+    assert done == [300.0]

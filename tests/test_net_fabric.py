@@ -71,3 +71,77 @@ def test_statistics(engine):
     fabric.deliver("a", "b", 200, lambda: None)
     assert fabric.packets_sent == 2
     assert fabric.bytes_sent == 300
+
+
+def test_lost_packets_still_consume_egress(engine):
+    """Loss happens at the switch, after the NIC: a dropped frame still
+    serialized, so the next packet departs later and the sent counters
+    include it."""
+    rng = RngStreams(seed=7).stream("net")
+    fabric = Fabric(engine, latency_us=0.0, loss_rate=1.0, rng=rng)
+    from repro.kernel.machine import Machine
+    for name in ("a", "b"):
+        fabric.attach(Machine(engine, name))
+    for __ in range(3):
+        fabric.deliver("a", "b", 1250, lambda: None)  # 10us each, all lost
+    assert fabric.packets_lost == 3
+    assert fabric.packets_sent == 3
+    assert fabric.bytes_sent == 3750
+    fabric.loss_rate = 0.0
+    times = []
+    fabric.deliver("a", "b", 1250, lambda: times.append(engine.now))
+    engine.run()
+    # 4th frame queued behind the three lost ones: departs at 40us.
+    assert times == [pytest.approx(40.0)]
+
+
+def test_jitter_never_reorders_a_pair(engine):
+    rng = RngStreams(seed=3).stream("net")
+    fabric = Fabric(engine, latency_us=50.0, jitter_us=500.0, rng=rng)
+    from repro.kernel.machine import Machine
+    for name in ("a", "b"):
+        fabric.attach(Machine(engine, name))
+    arrivals = []
+    for i in range(100):
+        fabric.deliver("a", "b", 1, lambda i=i: arrivals.append(
+            (i, engine.now)))
+    engine.run()
+    assert [i for i, __ in arrivals] == list(range(100))
+    times = [t for __, t in arrivals]
+    assert times == sorted(times)
+
+
+def test_jitter_floor_is_per_pair(engine):
+    """One pair's jittered arrival must not delay another pair."""
+    rng = RngStreams(seed=3).stream("net")
+    fabric = Fabric(engine, latency_us=10.0, rng=rng)
+    from repro.kernel.machine import Machine
+    for name in ("a", "b", "c"):
+        fabric.attach(Machine(engine, name))
+    fabric.extra_jitter_us = 10_000.0
+    fabric.deliver("a", "b", 1, lambda: None)  # raises a->b floor only
+    fabric.extra_jitter_us = 0.0
+    times = []
+    fabric.deliver("a", "c", 1, lambda: times.append(engine.now))
+    engine.run()
+    assert times[0] < 100.0
+
+
+def test_partition_drops_and_heals(engine):
+    fabric, __ = make_lan(engine, ["a", "b"], latency_us=0.0)
+    delivered = []
+    fabric.partition("a", "b")
+    assert fabric.partitioned("a", "b") and fabric.partitioned("b", "a")
+    fabric.deliver("a", "b", 1250, delivered.append, "cut")
+    fabric.deliver("b", "a", 1250, delivered.append, "cut-back")
+    engine.run()
+    assert delivered == []
+    assert fabric.packets_partitioned == 2
+    assert fabric.packets_lost == 2
+    assert fabric.packets_sent == 2  # the NIC still transmitted them
+    fabric.heal("a", "b")
+    fabric.deliver("a", "b", 1250, delivered.append, "healed")
+    engine.run()
+    assert delivered == ["healed"]
+    # Egress consumed by the partitioned frame: 10us + 10us serialization.
+    assert engine.now == pytest.approx(20.0)
