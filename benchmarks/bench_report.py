@@ -1,0 +1,120 @@
+"""Perf-trajectory baseline: the standard grid as one diffable JSON file.
+
+Runs the standard cell grid — every transport series, with and without
+the paper's fixes — and records throughput plus tail latency per cell in
+``BENCH_7.json`` at the repository root.  Future PRs regenerate the file
+and diff it against the committed baseline, so a regression in any
+transport/fix combination shows up as a one-line change instead of a
+vague "benchmarks feel slower".
+
+Cells run through the shared disk cache (:mod:`cells`), so regenerating
+the file after unrelated changes costs well under a second.  Everything
+recorded is deterministic given the seeds; the file contains no
+wall-clock timings, which keeps the diff meaningful.
+"""
+
+import json
+import pathlib
+
+from repro.analysis import ExperimentSpec
+
+try:
+    from cells import run_cell
+    from conftest import record_report
+except ImportError:  # running as a plain script, not under pytest
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    from cells import run_cell
+    from conftest import record_report
+
+#: where the committed baseline lives
+REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_7.json"
+
+SERIES = ("udp", "tcp-persistent", "tcp-500", "tcp-50")
+
+#: fix name -> (fd_cache, idle_strategy); "none" is the paper's baseline
+#: server, "fdcache" is §5.2 alone, "all" adds the §5.3 priority queue
+FIXES = {
+    "none": (False, "scan"),
+    "fdcache": (True, "scan"),
+    "all": (True, "pq"),
+}
+
+LOADS = (100, 1000)
+SEED = 1
+
+
+def _cell_record(result) -> dict:
+    return {
+        "throughput_ops_s": round(result.throughput_ops_s, 1),
+        "setup_p99_us": round(result.setup_latency_us.get("p99", 0.0), 1),
+        "processing_p99_us": round(
+            result.processing_latency_us.get("p99", 0.0), 1),
+        "calls_failed": result.calls_failed,
+    }
+
+
+def collect() -> dict:
+    grid = {}
+    for series in SERIES:
+        grid[series] = {}
+        for fix, (fd_cache, idle_strategy) in FIXES.items():
+            grid[series][fix] = {}
+            for clients in LOADS:
+                result = run_cell(ExperimentSpec(
+                    series=series, clients=clients, fd_cache=fd_cache,
+                    idle_strategy=idle_strategy, seed=SEED))
+                grid[series][fix][str(clients)] = _cell_record(result)
+    return {
+        "schema": "bench-report-v1",
+        "seed": SEED,
+        "loads": list(LOADS),
+        "grid": grid,
+    }
+
+
+def write_report(data: dict, path=REPORT_PATH) -> None:
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def render(data: dict) -> str:
+    lines = ["== perf trajectory (BENCH_7.json) =="]
+    for series, fixes in data["grid"].items():
+        for fix, cells in fixes.items():
+            row = "  ".join(
+                f"{clients}c {cell['throughput_ops_s']:8.0f} ops/s "
+                f"p99 {cell['setup_p99_us']:7.0f}us"
+                for clients, cell in cells.items())
+            lines.append(f"{series:>15}/{fix:<7} {row}")
+    return "\n".join(lines)
+
+
+def test_bench_report(benchmark):
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    write_report(data)
+    record_report("bench_report", render(data))
+
+    grid = data["grid"]
+    for series in SERIES:
+        for fix in FIXES:
+            for clients in map(str, LOADS):
+                cell = grid[series][fix][clients]
+                assert cell["throughput_ops_s"] > 0, (series, fix, clients)
+                assert cell["setup_p99_us"] > 0, (series, fix, clients)
+    # The paper's ordering must hold in the recorded baseline: UDP out in
+    # front, and the fixes never hurting the churn-heavy TCP series.
+    for clients in map(str, LOADS):
+        assert grid["udp"]["none"][clients]["throughput_ops_s"] > \
+            grid["tcp-50"]["none"][clients]["throughput_ops_s"]
+        assert grid["tcp-50"]["all"][clients]["throughput_ops_s"] > \
+            grid["tcp-50"]["none"][clients]["throughput_ops_s"]
+
+
+if __name__ == "__main__":
+    report = collect()
+    write_report(report)
+    print(render(report))
+    print(f"wrote {REPORT_PATH}")

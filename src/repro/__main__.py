@@ -14,6 +14,9 @@ Examples::
         --clients 16 --json overload.json
     python -m repro fig-faults
     python -m repro fig-faults --smoke --json faults.json
+    python -m repro fig-attr --transport tcp --fixes none fdcache
+    python -m repro fig-attr --smoke --json attr.json
+    python -m repro fig-attr --call-id call-7-uac42 --journey-trace j.json
 
 Cells are deterministic, so results are cached on disk
 (``benchmarks/results/.cache/``; see ``--no-cache``/``--clear-cache``).
@@ -28,6 +31,14 @@ goodput and 503-rate per cell (``--json`` also writes the full grid).
 injected mid-measurement and goodput is compared before/during/after
 the fault with the supervisor watchdog off and on (``--smoke`` runs the
 small CI configuration).
+
+``fig-attr`` runs the causal latency-attribution figure: every message
+is trace-id tagged and each transaction's critical path is decomposed
+into network / socket-queue / run-queue / lock / IPC / CPU time, per
+fix (the paper's Table 3 IPC claim, measured on the latency path).
+Causal cells run serially and bypass the cache; ``--call-id`` prints a
+per-segment waterfall and ``--journey-trace`` writes the segments as
+Perfetto-viewable Chrome trace JSON.
 
 ``--trace FILE`` records the full message lifecycle (parse, transaction
 match, fd-passing IPC, sends) plus kernel events into a Chrome
@@ -52,10 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Run one cell of the ISPASS 2008 SIP-proxy study.")
     parser.add_argument("command", nargs="?", default="cell",
-                        choices=("cell", "fig-overload", "fig-faults"),
+                        choices=("cell", "fig-overload", "fig-faults",
+                                 "fig-attr"),
                         help="what to run: a single cell (default), the "
-                             "overload figure, or the fault-resilience "
-                             "figure")
+                             "overload figure, the fault-resilience "
+                             "figure, or the latency-attribution figure")
     parser.add_argument("--series", default="udp",
                         choices=sorted(SERIES_DEF),
                         help="workload series (transport + connection reuse)")
@@ -120,8 +132,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault offset into the measurement window "
                              "(default: 300000)")
     faults.add_argument("--smoke", action="store_true",
-                        help="small, fast fig-faults configuration "
-                             "(16 clients) for CI smoke runs")
+                        help="small, fast figure configuration for CI "
+                             "smoke runs (fig-faults: 16 clients; "
+                             "fig-attr: short windows, 24 clients)")
+    attr = parser.add_argument_group("fig-attr options")
+    attr.add_argument("--transport", default="tcp", choices=("tcp", "udp"),
+                      help="transport to attribute (tcp uses the churn "
+                           "series tcp-50, where fd-passing IPC shows up)")
+    attr.add_argument("--fixes", nargs="+", metavar="FIX", default=None,
+                      help="fixes to compare, space- or comma-separated "
+                           "from {none, fdcache} (default: both)")
+    attr.add_argument("--call-id", metavar="ID", default=None,
+                      help="print a per-segment waterfall for journeys "
+                           "whose trace id contains ID")
+    attr.add_argument("--journey-trace", metavar="FILE", default=None,
+                      help="write each cell's causal segments as Chrome "
+                           "trace JSON (per-fix suffix when comparing)")
     return parser
 
 
@@ -263,6 +289,53 @@ def _run_fig_faults(args, cache) -> int:
     return 0
 
 
+def _run_fig_attr(args) -> int:
+    import json
+
+    from repro.analysis.attribution import render_attr_figure, run_attr_figure
+    from repro.obs import render_waterfall, write_journey_trace
+
+    fixes = tuple(fix for arg in (args.fixes or ["none,fdcache"])
+                  for fix in arg.split(",") if fix)
+    clients = 24 if args.smoke else args.clients[0]
+
+    def on_cell(fix, result):
+        # Live-result hooks: the causal segment buffer never makes it
+        # into the JSON payload, so waterfalls and trace exports happen
+        # here, while the cell is still in memory.
+        if args.call_id:
+            print(f"-- waterfall: fix={fix}, call-id ~ {args.call_id} --")
+            print(render_waterfall(result.causal, args.call_id))
+            print(flush=True)
+        if args.journey_trace:
+            path = args.journey_trace
+            if len(fixes) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = f"{stem}-{fix}.{ext}" if dot else f"{path}-{fix}"
+            count = write_journey_trace(
+                path, result.causal,
+                extra={"transport": args.transport, "fix": fix,
+                       "seed": args.seed})
+            print(f"journey trace: {path} ({count} events)", flush=True)
+
+    data = run_attr_figure(
+        transport=args.transport,
+        fixes=fixes,
+        clients=clients,
+        workers=args.workers,
+        seed=args.seed,
+        smoke=args.smoke,
+        progress=lambda message: print(message, flush=True),
+        on_cell=on_cell,
+    )
+    print(render_attr_figure(data))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(data, fh, indent=1, sort_keys=True)
+        print(f"json:         {args.json}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     cache = None if args.no_cache else ResultCache()
@@ -274,6 +347,8 @@ def main(argv=None) -> int:
         return _run_fig_overload(args, cache)
     if args.command == "fig-faults":
         return _run_fig_faults(args, cache)
+    if args.command == "fig-attr":
+        return _run_fig_attr(args)  # causal cells are serial, uncached
     sample_us = args.sample_us
     if sample_us is None and args.metrics:
         from repro.obs.metrics import DEFAULT_INTERVAL_US

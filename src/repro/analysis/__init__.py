@@ -16,6 +16,11 @@ from repro.analysis.experiments import (
     TCP_WORKERS,
     UDP_WORKERS,
 )
+from repro.analysis.attribution import (
+    attr_spec,
+    render_attr_figure,
+    run_attr_figure,
+)
 from repro.analysis.cache import ResultCache, spec_key
 from repro.analysis.overload import (
     OVERLOAD_T1_US,
@@ -50,4 +55,7 @@ __all__ = [
     "overload_spec",
     "run_overload_figure",
     "render_overload_figure",
+    "attr_spec",
+    "run_attr_figure",
+    "render_attr_figure",
 ]

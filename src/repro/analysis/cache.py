@@ -35,8 +35,10 @@ from typing import Optional
 #: v3: overload subsystem — goodput/rejection fields, Timer E in
 #: Proceeding, controller hooks in the proxy core;
 #: v4: fault subsystem — fabric egress/ordering fixes, IPC
-#: blocked-marker hygiene, fault_plan/watchdog spec fields)
-SCHEMA_VERSION = 4
+#: blocked-marker hygiene, fault_plan/watchdog spec fields;
+#: v5: causal-tracing subsystem — attribution result field, causal spec
+#: field, datagram trace slots)
+SCHEMA_VERSION = 5
 
 #: default location, relative to the repository root (this file lives at
 #: ``<root>/src/repro/analysis/cache.py``)
@@ -56,9 +58,9 @@ def spec_payload(spec) -> Optional[dict]:
     """
     from repro.analysis.experiments import TIME_COMPRESSION, _scale
 
-    if getattr(spec, "trace", False):
-        # Traced runs exist for their live tracer, which a cached (or
-        # pickled) result cannot carry — never serve them from disk.
+    if getattr(spec, "trace", False) or getattr(spec, "causal", False):
+        # Traced/causal runs exist for their live tracer, which a cached
+        # (or pickled) result cannot carry — never serve them from disk.
         return None
     payload = {"schema": SCHEMA_VERSION,
                "scale": _scale(),

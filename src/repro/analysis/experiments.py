@@ -84,6 +84,10 @@ class ExperimentSpec:
     #: record spans into a live tracer (``result.tracer``); trace results
     #: cannot be cached or cross the parallel runner's process boundary
     trace: bool = False
+    #: record causal per-message segments and attach latency attribution
+    #: (``result.attribution`` + live ``result.causal``/``result.journeys``);
+    #: like ``trace``, causal results are uncacheable and serial-only
+    causal: bool = False
     costs: Optional[CostModel] = None
     stateful: bool = True
     server_fd_limit: int = 65536  # a tuned server (ulimit -n raised)
@@ -160,6 +164,7 @@ def run_cell(spec: ExperimentSpec) -> BenchmarkResult:
     bed = Testbed(seed=spec.seed,
                   profile=spec.profile or spec.sample_us is not None,
                   trace=spec.trace,
+                  causal=spec.causal,
                   server_fd_limit=spec.server_fd_limit)
     overload_kw = {}
     if spec.sip_t1_us is not None:
@@ -256,6 +261,14 @@ def run_cell(spec: ExperimentSpec) -> BenchmarkResult:
     result.proxy = proxy  # expose server-side state to the harness
     result.testbed = bed
     result.tracer = bed.tracer  # live; None unless spec.trace
+    result.causal = bed.causal  # live; None unless spec.causal
+    result.journeys = []
+    if bed.causal is not None:
+        from repro.obs import aggregate_journeys, build_journeys
+        journeys = build_journeys(bed.causal,
+                                  window=manager.measured_window)
+        result.journeys = journeys
+        result.attribution = aggregate_journeys(journeys)
     return result
 
 

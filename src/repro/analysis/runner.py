@@ -19,8 +19,9 @@ so the live ``proxy``/``testbed``/``tracer`` objects a serial
 available on runner results — use the serializable
 ``proxy_totals``/``open_conns`` summaries instead.  Sampled metric
 series *do* survive (``result.metrics`` is plain JSON), but span traces
-do not: specs with ``trace=True`` are rejected here — run them through
-``run_cell`` directly (the CLI's ``--trace`` path does exactly that).
+and causal segments do not: specs with ``trace=True`` or ``causal=True``
+are rejected here — run them through ``run_cell`` directly (the CLI's
+``--trace`` and ``fig-attr`` paths do exactly that).
 """
 
 import dataclasses
@@ -89,11 +90,11 @@ def run_cells(specs: Iterable[ExperimentSpec],
     """
     specs = list(specs)
     for spec in specs:
-        if getattr(spec, "trace", False):
+        if getattr(spec, "trace", False) or getattr(spec, "causal", False):
             raise ValueError(
-                "trace=True cells need their live tracer, which cannot "
-                "cross the runner's process/cache boundary; call "
-                "repro.analysis.experiments.run_cell(spec) directly")
+                "trace=True/causal=True cells need their live tracer, "
+                "which cannot cross the runner's process/cache boundary; "
+                "call repro.analysis.experiments.run_cell(spec) directly")
     if jobs is None:
         jobs = default_jobs()
     keys = [spec_key(spec) for spec in specs]

@@ -87,6 +87,8 @@ class Phone:
         self.reliable = transport in ("tcp", "sctp")
         self.builder = MessageBuilder(user, domain, machine.name, port,
                                       transport, rng)
+        #: causal tracer inherited from the machine (None = attribution off)
+        self.causal = getattr(machine, "causal", None)
         # -- state -------------------------------------------------------
         self.registered = False
         self.registration_failures = 0
@@ -359,13 +361,26 @@ class Phone:
             if not done.fired:
                 done.fire(None)
 
-        txn = ClientTransaction(self.engine, request, self._send_text,
+        causal = self.causal
+        tid = (f"{request.call_id}/{request.method}"
+               if causal is not None else None)
+        send_fn = self._send_text
+        if causal is not None:
+            # Mark every send, retransmissions included, so the journey
+            # window clock starts at the *first* send (earliest wins in
+            # journey_windows) and duplicate marks witness timer A/E.
+            def send_fn(text):
+                causal.mark(tid, "uac_send", self.user)
+                self._send_text(text)
+        txn = ClientTransaction(self.engine, request, send_fn,
                                 self.reliable, self.timers,
                                 on_response=on_response,
                                 on_timeout=on_timeout)
         self._client_txns[txn.branch] = txn
         txn.start()
         final = yield Wait(done)
+        if causal is not None and final is not None:
+            causal.mark(tid, "uac_final", self.user)
         self._client_txns.pop(txn.branch, None)
         self.retransmissions += txn.retransmissions
         txn.cancel()

@@ -108,6 +108,11 @@ class BenchmarkResult:
     #: plan, deadlock detector or watchdog): {"plan": ..., "injected":
     #: [...], "deadlocks": [...], "restarts": [...]} — plain JSON
     faults: Dict = field(default_factory=dict)
+    #: per-transport latency attribution (empty unless the cell ran with
+    #: causal tracing): :func:`repro.obs.aggregate_journeys` output —
+    #: journey counts, latency percentiles and the critical-path share
+    #: of each wait state {network, sockq, runq, lock, ipc, cpu, other}
+    attribution: Dict = field(default_factory=dict)
 
     def __repr__(self) -> str:
         return (f"<BenchmarkResult {self.throughput_ops_s:.0f} ops/s "

@@ -116,6 +116,8 @@ class IpcEndpoint:
                 if tracer is not None:
                     tracer.instant("ipc_send_blocked", cat="ipc",
                                    who=self.name, kind=msg.kind)
+            if self.channel.causal is not None:
+                self.channel.causal.hint_block("ipc")
             yield Wait(self._out.writable_signal)
         self.blocked_sending_since = None
         self._enqueue(msg)
@@ -125,6 +127,8 @@ class IpcEndpoint:
         while self._in.empty:
             if self.blocked_receiving_since is None:
                 self.blocked_receiving_since = self._engine.now
+            if self.channel.causal is not None:
+                self.channel.causal.hint_block("ipc")
             yield Wait(self._in.readable_signal)
         self.blocked_receiving_since = None
         return self._dequeue()
@@ -187,6 +191,9 @@ class IpcChannel:
         #: optional span tracer (endpoints reach it via the channel; a
         #: None tracer keeps the blocking paths emission-free)
         self.tracer = tracer
+        #: optional causal tracer: blocked sends/receives hint their wait
+        #: reason so the scheduler attributes them as IPC time
+        self.causal = None
         self._a2b = _Direction(engine, capacity, f"{name}.a2b")
         self._b2a = _Direction(engine, capacity, f"{name}.b2a")
         self.a = IpcEndpoint(self, self._a2b, self._b2a, f"{name}.a")

@@ -114,6 +114,9 @@ class KMutex:
         self._waiters = Signal(engine, name=f"{name}.waiters")
         self.acquisitions = 0
         self.contentions = 0
+        #: optional causal tracer: blocked acquires hint their wait
+        #: reason so the scheduler attributes them as lock time
+        self.causal = None
 
     def acquire(self, who: str = "?"):
         """Generator: block (off-CPU) until the mutex is ours."""
@@ -121,6 +124,8 @@ class KMutex:
         contended = False
         while self.held:
             contended = True
+            if self.causal is not None:
+                self.causal.hint_block("lock")
             yield Wait(self._waiters)
         if contended:
             self.contentions += 1

@@ -28,6 +28,7 @@ class Machine:
         ctx_switch_us: float = 1.5,
         profiler=None,
         tracer=None,
+        causal=None,
         fd_limit: int = 1024,
         ephemeral_ports: int = 28232,
         time_wait_us: float = 60_000_000.0,
@@ -39,11 +40,15 @@ class Machine:
         #: optional span tracer, propagated to the scheduler and read by
         #: the proxy architectures (None = tracing off, zero overhead)
         self.tracer = tracer
+        #: optional causal tracer, shared testbed-wide (trace ids cross
+        #: machines) and propagated the same way
+        self.causal = causal
         self.scheduler = Scheduler(engine, n_cores=n_cores,
                                    quantum_us=quantum_us,
                                    ctx_switch_us=ctx_switch_us,
                                    profiler=profiler,
-                                   tracer=tracer)
+                                   tracer=tracer,
+                                   causal=causal)
         self.fd_limit = fd_limit
         self.tcp_ports = PortAllocator(
             engine, lo=32768, hi=32768 + ephemeral_ports,

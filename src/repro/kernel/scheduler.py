@@ -80,6 +80,7 @@ class Scheduler:
         o1_park_us: float = 60_000.0,
         profiler=None,
         tracer=None,
+        causal=None,
     ) -> None:
         if n_cores < 1:
             raise ValueError("need at least one core")
@@ -105,6 +106,9 @@ class Scheduler:
         #: optional span tracer; every hook below guards on None so the
         #: untraced hot path costs one attribute load and a branch
         self.tracer = tracer
+        #: optional causal tracer (run-queue wait, blocked-wait and CPU
+        #: charge attribution), same None-guard discipline as the tracer
+        self.causal = causal
         self._runqueue: List[tuple] = []  # (vruntime, seq, proc)
         self._seq = 0
         self._min_vruntime = 0.0
@@ -139,6 +143,11 @@ class Scheduler:
             # The §4.3 starvation ingredient, visible per-process.
             self.tracer.instant("o1_park", cat="kernel", who=proc.name,
                                 park_us=self.o1_park_us)
+        if self.causal is not None:
+            # An epoch in the expired array is scheduler-induced wait:
+            # attribute it as run-queue time (earliest stamp wins, so the
+            # eventual _fill_core pop covers park + queueing in one go).
+            self.causal.on_runq_push(proc.name)
         self.engine.schedule(self.o1_park_us, self._unpark, proc)
 
     def _push_ready(self, proc: "KernelProcess") -> None:
@@ -156,6 +165,8 @@ class Scheduler:
         self._seq += 1
         proc.in_runqueue = True
         heapq.heappush(self._runqueue, (proc.vruntime, self._seq, proc))
+        if self.causal is not None:
+            self.causal.on_runq_push(proc.name)
 
     def _pop_ready(self) -> Optional["KernelProcess"]:
         while self._runqueue:
@@ -183,6 +194,8 @@ class Scheduler:
             return  # waiting out an expired-array epoch
         if proc.blocked_at is not None:
             slept = self.engine.now - proc.blocked_at
+            if self.causal is not None:
+                self.causal.on_block_end(proc.name, proc.blocked_at)
             proc.blocked_at = None
             proc.sleep_credit = min(proc.sleep_credit + slept,
                                     self.o1_park_us)
@@ -236,6 +249,8 @@ class Scheduler:
         proc = self._pop_ready()
         if proc is None:
             return
+        if self.causal is not None:
+            self.causal.on_runq_pop(proc.name)
         core.current = proc
         proc.core = core
         # Switching back to the process that last ran here is (nearly)
@@ -268,6 +283,8 @@ class Scheduler:
         proc.cpu_debt += us
         if self.profiler is not None:
             self.profiler.record(label, us, proc.name)
+        if self.causal is not None:
+            self.causal.on_charge(proc.name, label, us)
 
     def _settle_ctx(self, core: _Core, proc: "KernelProcess") -> None:
         if core.ctx_pending > 0:
@@ -297,6 +314,8 @@ class Scheduler:
             proc.cpu_debt += ran
             if self.profiler is not None:
                 self.profiler.record(pending[1], ran, proc.name)
+            if self.causal is not None:
+                self.causal.on_charge(proc.name, pending[1], ran)
         pending[0] -= ran
         if pending[0] > 1e-9:
             # Quantum expired mid-burst: requeue if a peer deserves the core.
@@ -505,6 +524,12 @@ class KernelProcess(SimProcess):
             return
         # Blocking (Wait/Sleep), forking or exiting: release the core first.
         self.blocked_at = self.engine.now
+        causal = self.scheduler.causal
+        if causal is not None:
+            # Claim the block-reason hint the yielding primitive left
+            # (dispatch runs synchronously during the yield, so the hint
+            # can only belong to this process).
+            causal.on_block_start(self.name)
         if self.core is not None:
             self.scheduler.release_core_of(self)
         super()._dispatch(effect)

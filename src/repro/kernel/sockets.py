@@ -76,6 +76,10 @@ class StreamBuffer:
         self.writable_signal = Signal(engine, name=f"{name}.writable")
         self.eof = False
         self.total_bytes = 0
+        #: bytes handed to readers — with :attr:`total_bytes` this gives
+        #: the stream offsets the causal tracer's socket-queue markers
+        #: are keyed to (delivered vs consumed)
+        self.consumed = 0
 
     @property
     def size(self) -> int:
@@ -119,6 +123,7 @@ class StreamBuffer:
                 taken += len(chunk)
         if taken:
             self._size -= taken
+            self.consumed += taken
             self.writable_signal.fire()
         return "".join(out)
 

@@ -7,7 +7,7 @@ class Datagram:
     """A UDP datagram (also reused as the SCTP message unit)."""
 
     __slots__ = ("src_addr", "src_port", "dst_addr", "dst_port", "payload",
-                 "size")
+                 "size", "trace_id", "sent_at", "queued_at")
 
     def __init__(self, src_addr: str, src_port: int, dst_addr: str,
                  dst_port: int, payload: str,
@@ -19,6 +19,10 @@ class Datagram:
         self.payload = payload
         #: on-wire size: payload plus IP+UDP headers
         self.size = size if size is not None else len(payload) + 28
+        #: causal-tracing tags (set only when a CausalTracer is attached)
+        self.trace_id: Optional[str] = None
+        self.sent_at: Optional[float] = None
+        self.queued_at: Optional[float] = None
 
     @property
     def source(self) -> tuple:

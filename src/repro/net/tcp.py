@@ -17,6 +17,7 @@ application except as added latency; we model TCP as reliable and in-order
 processing live in the proxy cost model.
 """
 
+import collections
 import enum
 from typing import Optional
 
@@ -119,6 +120,13 @@ class TcpConn:
         self.finalized = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: causal-tracing byte-offset markers, created lazily so untraced
+        #: runs never allocate them: ``_causal_marks`` holds
+        #: (bytes_sent threshold, trace id, send time) for messages this
+        #: side shipped; ``_sockq_marks`` holds (stream offset, trace id,
+        #: arrival time) for messages fully landed in our receive buffer
+        self._causal_marks = None
+        self._sockq_marks = None
         machine.tcp_connections.add(self)
 
     # -- poller source protocol ----------------------------------------
@@ -150,13 +158,19 @@ class TcpConn:
             return 0
         if not self.open_for_send:
             raise ConnectionResetError_(f"send on {self.state.value} connection")
+        fabric = self.machine.fabric
         while self._flow_space() < len(data):
             if not self.open_for_send:
                 raise ConnectionResetError_("connection closed while blocked in send")
+            if fabric.causal is not None:
+                # Flow-controlled: the peer's receive window is full, so
+                # the wait is network time, not local queueing.
+                fabric.causal.hint_block("network")
             yield Wait(self.peer.recv_buffer.writable_signal)
         self.in_flight += len(data)
         self.bytes_sent += len(data)
-        fabric = self.machine.fabric
+        if fabric.causal is not None:
+            self._mark_send(fabric.causal, data)
         offset = 0
         while offset < len(data):
             chunk = data[offset:offset + MSS]
@@ -173,6 +187,8 @@ class TcpConn:
         self.in_flight += len(data)
         self.bytes_sent += len(data)
         fabric = self.machine.fabric
+        if fabric.causal is not None:
+            self._mark_send(fabric.causal, data)
         offset = 0
         while offset < len(data):
             chunk = data[offset:offset + MSS]
@@ -182,6 +198,20 @@ class TcpConn:
                            self._segment_arrive, chunk)
         return True
 
+    def _mark_send(self, causal, data: str) -> None:
+        """Tag the just-queued bytes with the message's trace id.
+
+        The marker triggers when the peer's ``bytes_received`` reaches
+        the stream offset of this message's last byte — TCP is in-order,
+        so "last byte delivered" is when the whole message has crossed.
+        """
+        tid = causal.sniff(data)
+        if tid is None:
+            return
+        if self._causal_marks is None:
+            self._causal_marks = collections.deque()
+        self._causal_marks.append((self.bytes_sent, tid, self.engine.now))
+
     def _segment_arrive(self, chunk: str) -> None:
         self.in_flight -= len(chunk)
         peer = self.peer
@@ -189,19 +219,49 @@ class TcpConn:
             return  # data raced a teardown; receiver is gone
         peer.bytes_received += len(chunk)
         peer.recv_buffer.push(chunk)
+        marks = self._causal_marks
+        if marks:
+            causal = self.machine.fabric.causal
+            now = self.engine.now
+            while marks and marks[0][0] <= peer.bytes_received:
+                offset, tid, sent_at = marks.popleft()
+                if causal is None:
+                    continue
+                causal.note(tid, "network", "fabric", sent_at, now)
+                if peer._sockq_marks is None:
+                    peer._sockq_marks = collections.deque()
+                peer._sockq_marks.append((offset, tid, now))
 
     # -- receiving ----------------------------------------------------------
     def recv(self, max_bytes: int = 1 << 20):
         """Generator: block until bytes (or EOF); returns '' at EOF."""
         while not self.recv_buffer.readable():
             yield Wait(self.recv_buffer.readable_signal)
-        return self.recv_buffer.read(max_bytes)
+        data = self.recv_buffer.read(max_bytes)
+        if self._sockq_marks:
+            self._drain_sockq_marks()
+        return data
 
     def try_recv(self, max_bytes: int = 1 << 20) -> Optional[str]:
         """Non-blocking read: None when nothing available, '' at EOF."""
         if not self.recv_buffer.readable():
             return None
-        return self.recv_buffer.read(max_bytes)
+        data = self.recv_buffer.read(max_bytes)
+        if self._sockq_marks:
+            self._drain_sockq_marks()
+        return data
+
+    def _drain_sockq_marks(self) -> None:
+        """Emit socket-queue segments for messages the reader consumed."""
+        causal = self.machine.fabric.causal
+        marks = self._sockq_marks
+        consumed = self.recv_buffer.consumed
+        now = self.engine.now
+        while marks and marks[0][0] <= consumed:
+            __, tid, arrived_at = marks.popleft()
+            if causal is not None:
+                causal.note(tid, "sockq", self.recv_buffer.name,
+                            arrived_at, now)
 
     # -- teardown ----------------------------------------------------------
     def close(self) -> None:

@@ -53,6 +53,10 @@ class UdpEndpoint:
         dgram = Datagram(self.machine.address, self.port, dst_addr, dst_port,
                          payload)
         fabric = self.machine.fabric
+        causal = fabric.causal
+        if causal is not None:
+            dgram.trace_id = causal.sniff(payload)
+            dgram.sent_at = fabric.engine.now
         fabric.deliver(self.machine.address, dst_addr, dgram.size,
                        self._arrive, fabric, dgram)
         self.sent += 1
@@ -64,7 +68,15 @@ class UdpEndpoint:
         if endpoint is None:
             return  # ICMP port unreachable, which UDP senders ignore
         if endpoint.buffer.push(dgram):
+            if dgram.trace_id is not None:
+                causal = fabric.causal
+                if causal is not None:
+                    dgram.queued_at = fabric.engine.now
+                    causal.note(dgram.trace_id, "network", "fabric",
+                                dgram.sent_at, dgram.queued_at)
             endpoint._recv_waiters.fire_one()
+        elif dgram.trace_id is not None and fabric.causal is not None:
+            fabric.causal.count("udp.tagged_drops")
 
     def recvfrom(self):
         """Generator: block until a datagram arrives; returns it whole.
@@ -76,13 +88,25 @@ class UdpEndpoint:
         while not self.buffer.queue:
             yield Wait(self._recv_waiters)
         self.received += 1
-        return self.buffer.pop()
+        dgram = self.buffer.pop()
+        if dgram.queued_at is not None:
+            self._note_sockq(dgram)
+        return dgram
 
     def try_recvfrom(self) -> Optional[Datagram]:
         if not self.buffer.queue:
             return None
         self.received += 1
-        return self.buffer.pop()
+        dgram = self.buffer.pop()
+        if dgram.queued_at is not None:
+            self._note_sockq(dgram)
+        return dgram
+
+    def _note_sockq(self, dgram: Datagram) -> None:
+        causal = self.machine.fabric.causal
+        if causal is not None:
+            causal.note(dgram.trace_id, "sockq", f"{self.machine.name}:udp",
+                        dgram.queued_at, self.machine.engine.now)
 
     @property
     def drops(self) -> int:

@@ -21,15 +21,44 @@ the shares; this package reproduces the *mechanism view*:
 - :mod:`~repro.obs.chrome_trace` exports Perfetto-viewable Chrome
   trace-event JSON, :mod:`~repro.obs.metrics` writes metrics JSONL, and
   :class:`~repro.obs.timeline.TimelineReport` renders series as text
-  alongside :class:`~repro.profiling.report.ProfileReport`.
+  alongside :class:`~repro.profiling.report.ProfileReport`;
+- :class:`~repro.obs.causal.CausalTracer` tags every SIP message with a
+  trace id and records its wait-state transitions (network, socket
+  queue, run queue, lock, IPC, CPU); :mod:`~repro.obs.journey`
+  reconstructs per-transaction critical paths between the phone's
+  ``uac_send``/``uac_final`` marks and :mod:`~repro.obs.attribution`
+  aggregates them into the stacked latency-attribution figure
+  (``python -m repro fig-attr``).
 
 Every instrumentation hook in the simulator is a no-op when no tracer is
 attached (a ``tracer is None`` guard on the hot path), so the PR 1
 engine optimisations are preserved for untraced runs.
 """
 
-from repro.obs.chrome_trace import to_chrome_events, write_chrome_trace
+from repro.obs.attribution import (
+    ALL_COMPONENTS,
+    aggregate_journeys,
+    attribution_table,
+    render_waterfall,
+)
+from repro.obs.causal import (
+    COMPONENTS,
+    CausalTracer,
+    Segment,
+    classify_charge,
+)
+from repro.obs.chrome_trace import (
+    to_chrome_events,
+    write_chrome_trace,
+    write_journey_trace,
+)
 from repro.obs.histogram import StreamingHistogram
+from repro.obs.journey import (
+    Journey,
+    build_journeys,
+    decompose,
+    journeys_to_jsonable,
+)
 from repro.obs.metrics import (
     IPC_LABELS,
     MetricSampler,
@@ -40,14 +69,27 @@ from repro.obs.timeline import TimelineReport
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
+    "ALL_COMPONENTS",
+    "COMPONENTS",
+    "CausalTracer",
     "IPC_LABELS",
+    "Journey",
     "MetricSampler",
+    "Segment",
     "Span",
     "StreamingHistogram",
     "TimelineReport",
     "Tracer",
+    "aggregate_journeys",
+    "attribution_table",
+    "build_journeys",
+    "classify_charge",
+    "decompose",
+    "journeys_to_jsonable",
     "register_standard_probes",
+    "render_waterfall",
     "to_chrome_events",
     "write_chrome_trace",
+    "write_journey_trace",
     "write_metrics_jsonl",
 ]

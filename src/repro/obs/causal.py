@@ -1,0 +1,246 @@
+"""Causal per-message tracing: wait-state transitions keyed by trace id.
+
+The flat spans of :mod:`repro.obs.tracer` say *that* a worker spent time
+in ``fd_request_rtt``; they cannot say how one INVITE's 900 µs divided
+into socket-queue wait vs run-queue wait vs lock vs IPC vs CPU — the
+question the paper answers by hand with oprofile tables.  This module
+answers it automatically:
+
+- every SIP message is tagged with a **trace id** derived from its
+  Call-ID and CSeq method (``sniff``), so INVITE and BYE transactions
+  sharing a dialog stay distinct;
+- instrumented components emit :class:`Segment` records — one interval
+  of simulated time attributed to a *kind* drawn from
+  :data:`COMPONENTS` — into a bounded ring buffer;
+- the phone marks ``uac_send``/``uac_final`` instants that delimit each
+  transaction's journey window (:mod:`repro.obs.journey` reconstructs
+  the critical path between them).
+
+Wiring follows the PR 2 tracer idiom exactly: components hold a
+``causal`` attribute that is ``None`` by default and every emission site
+guards with ``if causal is not None``, so the untraced hot path costs
+one attribute load and a branch.
+
+Attribution of *blocked* waits uses a hint handshake: a blocking
+primitive calls :meth:`CausalTracer.hint_block` immediately before its
+``yield Wait(...)``; the scheduler's dispatch consumes the hint in
+:meth:`on_block_start` and :meth:`on_block_end` emits the classified
+segment when the process wakes.  The simulator is single-threaded and
+dispatch runs synchronously during the yield, so the single pending
+hint slot cannot be claimed by another process.
+"""
+
+import collections
+from typing import Dict, List, Optional
+
+#: critical-path components, in stacked-figure order
+COMPONENTS = ("network", "sockq", "runq", "lock", "ipc", "cpu")
+
+#: default ring-buffer capacity (segments); ~90 bytes/segment in memory
+DEFAULT_CAPACITY = 500_000
+
+#: Compute labels whose CPU burn is IPC machinery (mirrors
+#: :data:`repro.obs.metrics.IPC_LABELS`)
+IPC_CHARGE_LABELS = frozenset({
+    "ipc_send_fd_request", "ipc_recv", "receive_fd",
+    "tcpconn_send_fd", "ipc_send", "send_fd",
+})
+
+
+def classify_charge(label: str) -> str:
+    """Map a scheduler charge label to an attribution component."""
+    if (label.startswith("lock.") or label.startswith("kmutex.")
+            or label == "kernel.sched_yield"):
+        return "lock"
+    if label in IPC_CHARGE_LABELS:
+        return "ipc"
+    return "cpu"
+
+
+class Segment:
+    """One interval of simulated time attributed to a trace id."""
+
+    __slots__ = ("tid", "kind", "who", "start_us", "end_us", "detail")
+
+    def __init__(self, tid: str, kind: str, who: str, start_us: float,
+                 end_us: float, detail: Optional[str] = None) -> None:
+        self.tid = tid
+        self.kind = kind
+        self.who = who
+        self.start_us = start_us
+        self.end_us = end_us
+        self.detail = detail
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def __repr__(self) -> str:
+        return (f"<Segment {self.kind} {self.tid!r} "
+                f"[{self.start_us:.1f},{self.end_us:.1f}] by {self.who}>")
+
+
+class CausalTracer:
+    """Ring-buffered wait-state transition recorder for one simulation.
+
+    One instance is shared by every machine and the fabric of a
+    :class:`~repro.testbed.Testbed` (messages cross machines; their
+    trace ids must not).
+    """
+
+    def __init__(self, engine, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("causal tracer capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.segments: collections.deque = collections.deque(maxlen=capacity)
+        #: segments ever recorded (≥ len(segments) once evicting)
+        self.emitted = 0
+        #: journey-window marks: (tid, which, who, t_us) with which in
+        #: {"uac_send", "uac_final"}
+        self.marks: List[tuple] = []
+        #: per-process trace-id context, keyed by FULL scheduler process
+        #: name (e.g. ``server/tcp-worker-0``)
+        self._ctx: Dict[str, str] = {}
+        #: single pending block-reason hint (see module docstring)
+        self._hint: Optional[str] = None
+        #: consumed hints parked until the blocked process wakes
+        self._block_reason: Dict[str, str] = {}
+        #: run-queue entry stamps for processes with an active context
+        self._runq_since: Dict[str, float] = {}
+        #: free-form event counters (fd-cache hits, drops, ...)
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # trace-id extraction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def sniff(text: str) -> Optional[str]:
+        """Trace id for a SIP message: ``"<Call-ID>/<CSeq method>"``.
+
+        The CSeq method disambiguates the INVITE/ACK/BYE transactions of
+        one dialog, which share a Call-ID.  Returns None for text with
+        no Call-ID header (keep-alives, garbage).
+        """
+        i = text.find("Call-ID:")
+        if i < 0:
+            return None
+        j = text.find("\r\n", i)
+        call_id = text[i + 8:j if j >= 0 else len(text)].strip()
+        if not call_id:
+            return None
+        k = text.find("CSeq:")
+        if k < 0:
+            return call_id
+        m = text.find("\r\n", k)
+        cseq = text[k + 5:m if m >= 0 else len(text)].strip()
+        method = cseq.rsplit(" ", 1)[-1] if cseq else ""
+        return f"{call_id}/{method}" if method else call_id
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def note(self, tid: Optional[str], kind: str, who: str,
+             start_us: float, end_us: float,
+             detail: Optional[str] = None) -> None:
+        """Record one attributed interval (no-op for untagged traffic)."""
+        if tid is None or end_us <= start_us:
+            return
+        self.segments.append(Segment(tid, kind, who, start_us, end_us,
+                                     detail))
+        self.emitted += 1
+
+    def mark(self, tid: Optional[str], which: str, who: str) -> None:
+        """Record a journey-window boundary at the current time."""
+        if tid is None:
+            return
+        self.marks.append((tid, which, who, self.engine.now))
+
+    def count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    # ------------------------------------------------------------------
+    # per-process message context
+    # ------------------------------------------------------------------
+    def ctx_begin(self, proc_name: str, tid: Optional[str]) -> None:
+        """Attribute ``proc_name``'s time to ``tid`` until ``ctx_end``."""
+        if tid is not None:
+            self._ctx[proc_name] = tid
+
+    def ctx_end(self, proc_name: str) -> None:
+        self._ctx.pop(proc_name, None)
+        self._runq_since.pop(proc_name, None)
+
+    def ctx_tid(self, proc_name: str) -> Optional[str]:
+        return self._ctx.get(proc_name)
+
+    # ------------------------------------------------------------------
+    # scheduler hooks (all called with causal-is-not-None already checked)
+    # ------------------------------------------------------------------
+    def hint_block(self, reason: str) -> None:
+        """Declare why the *next* ``yield Wait`` will block."""
+        self._hint = reason
+
+    def on_block_start(self, proc_name: str) -> None:
+        """Dispatch saw ``proc_name`` block; claim the pending hint."""
+        hint, self._hint = self._hint, None
+        if hint is not None and proc_name in self._ctx:
+            self._block_reason[proc_name] = hint
+
+    def on_block_end(self, proc_name: str, blocked_at: float) -> None:
+        """``proc_name`` became ready after blocking at ``blocked_at``."""
+        reason = self._block_reason.pop(proc_name, None)
+        if reason is None:
+            return
+        tid = self._ctx.get(proc_name)
+        if tid is not None:
+            self.note(tid, reason, proc_name, blocked_at, self.engine.now)
+
+    def on_runq_push(self, proc_name: str) -> None:
+        """``proc_name`` entered the run queue (earliest stamp wins)."""
+        if proc_name in self._ctx and proc_name not in self._runq_since:
+            self._runq_since[proc_name] = self.engine.now
+
+    def on_runq_pop(self, proc_name: str) -> None:
+        """``proc_name`` left the run queue for a core."""
+        since = self._runq_since.pop(proc_name, None)
+        if since is None:
+            return
+        tid = self._ctx.get(proc_name)
+        if tid is not None:
+            self.note(tid, "runq", proc_name, since, self.engine.now)
+
+    def on_charge(self, proc_name: str, label: str, us: float) -> None:
+        """``proc_name`` was just charged ``us`` of CPU under ``label``."""
+        if us <= 0:
+            return
+        tid = self._ctx.get(proc_name)
+        if tid is None:
+            return
+        now = self.engine.now
+        self.note(tid, classify_charge(label), proc_name, now - us, now,
+                  label)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Segments evicted by the ring buffer (oldest-first)."""
+        return self.emitted - len(self.segments)
+
+    def segments_for(self, tid: str) -> List[Segment]:
+        return [seg for seg in self.segments if seg.tid == tid]
+
+    def tids(self) -> List[str]:
+        """Distinct trace ids present in the buffer, insertion order."""
+        seen = dict.fromkeys(seg.tid for seg in self.segments)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __repr__(self) -> str:
+        return (f"<CausalTracer segments={len(self.segments)}"
+                f"/{self.capacity} marks={len(self.marks)} "
+                f"dropped={self.dropped}>")

@@ -96,6 +96,51 @@ def write_chrome_trace(path, tracer, extra: Optional[Dict] = None) -> int:
     return len(events)
 
 
+def write_journey_trace(path, causal, extra: Optional[Dict] = None) -> int:
+    """Write a causal tracer's segments as a Chrome trace file.
+
+    Each wait-state segment becomes a complete event named after its
+    component (``network``/``sockq``/``runq``/``lock``/``ipc``/``cpu``)
+    on the lane of the process it occurred on, with the trace id in
+    ``args`` so Perfetto's search groups one message's journey.  Phone
+    marks (``uac_send``/``uac_final``) render as instants on the caller's
+    lane, giving each journey visible endpoints.  Lanes reuse the span
+    exporter's ``proc/sub`` convention, so the server's workers and
+    supervisor land under one labelled process block and the phones under
+    another.  Returns the number of events written (excluding metadata).
+    """
+    from repro.obs.tracer import Span
+
+    spans: List[Span] = []
+    for seg in causal.segments:
+        span = Span(seg.kind, "journey", seg.who, seg.start_us,
+                    attrs={"tid": seg.tid})
+        if seg.detail:
+            span.attrs["detail"] = seg.detail
+        span.end_us = seg.end_us
+        spans.append(span)
+    for tid, which, who, t_us in causal.marks:
+        span = Span(which, "journey", who, t_us, attrs={"tid": tid})
+        span.end_us = t_us  # instant
+        spans.append(span)
+    other: Dict = {
+        "segments_recorded": causal.emitted,
+        "segments_dropped": causal.dropped,
+        "marks": len(causal.marks),
+        "capacity": causal.capacity,
+    }
+    if extra:
+        other.update(extra)
+    payload = {
+        "traceEvents": to_chrome_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    return len(spans)
+
+
 def validate_chrome_trace(path) -> Dict:
     """Parse a trace file and sanity-check the schema; returns summary.
 

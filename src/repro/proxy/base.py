@@ -35,6 +35,10 @@ class BaseProxyServer:
             self.core.tracer = self.tracer
             self.txn_table.lock.tracer = self.tracer
             self.timer_list.lock.tracer = self.tracer
+        #: causal tracer inherited from the machine (None = attribution off)
+        self.causal = getattr(machine, "causal", None)
+        if self.causal is not None:
+            self.core.causal = self.causal
         #: overload controller ("none" → None; see :mod:`repro.overload`)
         self.controller = build_controller(config.overload_controller,
                                            config.overload_params)

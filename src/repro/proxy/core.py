@@ -41,6 +41,10 @@ class ProxyCore:
         self._pending_register_contact = None
         #: optional span tracer (set by BaseProxyServer when tracing)
         self.tracer = None
+        #: optional causal tracer (set by BaseProxyServer); the transport
+        #: loops own the per-message context, the core only counts the
+        #: paths that skip the normal pipeline (503 shed, rtx absorb)
+        self.causal = None
         #: optional overload controller (set by BaseProxyServer); None
         #: means no admission check at all — the collapse baseline pays
         #: zero overhead
@@ -115,6 +119,8 @@ class ProxyCore:
         self.stats.invites_rejected += 1
         if span is not None:
             span.set(call_id=request.call_id, kind="INVITE", rejected=True)
+        if self.causal is not None:
+            self.causal.count("core.rejected_503")
         reply = self._make_response(request, 503, "Service Unavailable")
         reply.add("Retry-After", str(self.controller.retry_after_s))
         return [SendAction(reply.render(), ToSource(source), "reply")]
@@ -177,6 +183,8 @@ class ProxyCore:
             # A retransmission from the caller: the stateful proxy absorbs
             # it and replays the best response it has (§2).
             self.stats.retransmissions_absorbed += 1
+            if self.causal is not None:
+                self.causal.count("core.rtx_absorbed")
             if txn.last_response_text is not None:
                 return [SendAction(txn.last_response_text,
                                    ToSource(txn.source), "reply")]

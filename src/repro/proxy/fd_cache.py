@@ -27,6 +27,9 @@ class FdCache:
         #: optional span tracer (evictions only — probes are traced by
         #: the caller, which knows the send context)
         self.tracer = None
+        #: optional causal tracer: hit/miss counters feed the attribution
+        #: figure's fd-cache effectiveness line
+        self.causal = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -39,13 +42,19 @@ class FdCache:
         entry = self._entries.get(record.conn_id)
         if entry is None:
             self.misses += 1
+            if self.causal is not None:
+                self.causal.count("fdcache.miss")
             return None
         fd, __ = entry
         if record.closed or record.released:
             self._evict(record.conn_id, fd)
             self.misses += 1
+            if self.causal is not None:
+                self.causal.count("fdcache.miss")
             return None
         self.hits += 1
+        if self.causal is not None:
+            self.causal.count("fdcache.hit")
         return fd
 
     def store(self, record: ConnRecord, fd: int) -> None:

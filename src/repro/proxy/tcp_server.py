@@ -80,6 +80,12 @@ class TcpProxyServer(BaseProxyServer):
             idle_lock = getattr(self.idle, "lock", None)
             if idle_lock is not None:
                 idle_lock.tracer = tracer
+        if self.causal is not None:
+            # Blocked IPC sends/receives hint their wait reason so a
+            # worker stalled in the §3.1 fd round trip attributes the
+            # stall to the message it is processing.
+            for chan in self.assign_chans + self.req_chans:
+                chan.causal = self.causal
 
     def queue_fill(self) -> float:
         """IPC backlog fill — TCP's analogue of a full receive buffer:
@@ -140,6 +146,10 @@ class TcpProxyServer(BaseProxyServer):
         # successor attaches.
         self.assign_chans[index].drain()
         self.req_chans[index].drain()
+        if self.causal is not None:
+            # The dead worker never ran its ctx_end; without this the
+            # successor (same process name) would inherit a stale trace id.
+            self.causal.ctx_end(f"{self.machine.name}/{who}")
         # Close everything the dead worker held: its owned-connection
         # fds and its fd-cache entries must not pin sockets open.  The
         # supervisor's copies keep live connections alive.
@@ -324,16 +334,20 @@ class TcpProxyServer(BaseProxyServer):
         cache = FdCache(fdtable, who) if self.config.fd_cache else None
         if cache is not None and self.tracer is not None:
             cache.tracer = self.tracer
+        if cache is not None and self.causal is not None:
+            cache.causal = self.causal
         self.fd_caches[index] = cache
         assign_ep = self.assign_chans[index].b
         req_ep = self.req_chans[index].a
         poller = Poller(engine, name=f"{who}-poller")
+        poller.causal = self.causal
         poller.add(assign_ep)
         tick = TickSource(engine, self.config.worker_idle_tick_us,
                           name=f"{who}-tick")
         poller.add(tick)
         owned: Dict[object, _OwnedConn] = {}
-        ctx = _WorkerCtx(index, who, fdtable, cache, req_ep, poller, owned)
+        ctx = _WorkerCtx(index, who, fdtable, cache, req_ep, poller, owned,
+                         proc_name=f"{self.machine.name}/{who}")
         heartbeats = self.worker_heartbeat_us
         while True:
             heartbeats[index] = engine.now
@@ -393,17 +407,27 @@ class TcpProxyServer(BaseProxyServer):
             self.stats.parse_errors += 1
             yield from self._worker_drop_conn(ctx, oc.record)
             return
+        causal = self.causal
         for text in texts:
-            yield Compute(self.costs.tcp_frame_us, "tcp_read_headers")
-            yield from self.idle.on_activity(oc.record, self.engine.now)
-            actions = yield from self.core.process(text, source=oc.record,
-                                                   who=ctx.who)
-            contact = self.core.take_register_contact()
-            if contact is not None:
-                yield from self.conn_table.set_alias(oc.record, contact,
-                                                     ctx.who)
-            for action in actions:
-                yield from self._worker_send(ctx, action)
+            if causal is not None:
+                # Everything the worker does until this message is fully
+                # handled — framing, core processing, the fd round trip,
+                # the sends — attributes to its trace id.
+                causal.ctx_begin(ctx.proc_name, causal.sniff(text))
+            try:
+                yield Compute(self.costs.tcp_frame_us, "tcp_read_headers")
+                yield from self.idle.on_activity(oc.record, self.engine.now)
+                actions = yield from self.core.process(text, source=oc.record,
+                                                       who=ctx.who)
+                contact = self.core.take_register_contact()
+                if contact is not None:
+                    yield from self.conn_table.set_alias(oc.record, contact,
+                                                         ctx.who)
+                for action in actions:
+                    yield from self._worker_send(ctx, action)
+            finally:
+                if causal is not None:
+                    causal.ctx_end(ctx.proc_name)
 
     # -- sending ----------------------------------------------------------
     def _worker_send(self, ctx: "_WorkerCtx", action: SendAction):
@@ -594,10 +618,10 @@ class _WorkerCtx:
     """Bundles one worker's mutable state for the helper generators."""
 
     __slots__ = ("index", "who", "fdtable", "cache", "req_ep", "poller",
-                 "owned")
+                 "owned", "proc_name")
 
     def __init__(self, index, who, fdtable, cache, req_ep, poller,
-                 owned) -> None:
+                 owned, proc_name=None) -> None:
         self.index = index
         self.who = who
         self.fdtable = fdtable
@@ -605,3 +629,5 @@ class _WorkerCtx:
         self.req_ep = req_ep
         self.poller = poller
         self.owned = owned
+        #: full scheduler process name (the causal context key)
+        self.proc_name = proc_name if proc_name is not None else who

@@ -63,6 +63,10 @@ class UdpProxyServer(BaseProxyServer):
                 lock.release()
         if old.fdtable is not None:
             old.fdtable.close_all()
+        if self.causal is not None:
+            # Drop the dead worker's trace-id context before its namesake
+            # successor starts (mirrors TcpProxyServer.restart_worker).
+            self.causal.ctx_end(f"{self.machine.name}/{who}")
         proc = self.machine.spawn(self._worker_body(index), who,
                                   nice=self.config.worker_nice)
         self._worker_procs[index] = proc
@@ -74,15 +78,25 @@ class UdpProxyServer(BaseProxyServer):
     # ------------------------------------------------------------------
     def _worker_body(self, index: int):
         who = f"udp-worker-{index}"
+        proc_name = f"{self.machine.name}/{who}"
+        causal = self.causal
         heartbeats = self.worker_heartbeat_us
         while True:
             heartbeats[index] = self.engine.now
             dgram = yield from self.socket.recvfrom()
             heartbeats[index] = self.engine.now
-            yield Compute(self.costs.udp_recv_us, "udp_rcv_loop")
-            actions = yield from self.core.process(
-                dgram.payload, source=dgram.source, who=who)
-            yield from self._execute(actions)
+            if causal is not None:
+                causal.ctx_begin(proc_name, dgram.trace_id
+                                 if dgram.trace_id is not None
+                                 else causal.sniff(dgram.payload))
+            try:
+                yield Compute(self.costs.udp_recv_us, "udp_rcv_loop")
+                actions = yield from self.core.process(
+                    dgram.payload, source=dgram.source, who=who)
+                yield from self._execute(actions)
+            finally:
+                if causal is not None:
+                    causal.ctx_end(proc_name)
 
     def _execute(self, actions):
         for action in actions:

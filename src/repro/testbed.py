@@ -9,6 +9,7 @@ from typing import List, Optional
 
 from repro.kernel.machine import Machine
 from repro.net.fabric import Fabric
+from repro.obs.causal import CausalTracer
 from repro.obs.tracer import Tracer
 from repro.profiling.profiler import Profiler
 from repro.sim.engine import Engine
@@ -36,6 +37,8 @@ class Testbed:
         profile: bool = False,
         trace: bool = False,
         trace_capacity: Optional[int] = None,
+        causal: bool = False,
+        causal_capacity: Optional[int] = None,
     ) -> None:
         self.engine = Engine()
         self.rng = RngStreams(seed)
@@ -45,19 +48,30 @@ class Testbed:
                            if trace_capacity else Tracer(self.engine))
         else:
             self.tracer = None
+        if causal:
+            # One tracer for the whole testbed: trace ids are stamped on
+            # the client machines and consumed on the server.
+            self.causal = (CausalTracer(self.engine,
+                                        capacity=causal_capacity)
+                           if causal_capacity else CausalTracer(self.engine))
+        else:
+            self.causal = None
         self.fabric = Fabric(self.engine, latency_us=latency_us,
                              bandwidth_bytes_per_us=bandwidth_bytes_per_us,
                              rng=self.rng.stream("net"))
+        self.fabric.causal = self.causal
         self.server = Machine(self.engine, SERVER_NAME, n_cores=server_cores,
                               quantum_us=quantum_us, profiler=self.profiler,
                               tracer=self.tracer,
+                              causal=self.causal,
                               fd_limit=server_fd_limit,
                               time_wait_us=time_wait_us)
         self.fabric.attach(self.server)
         self.clients: List[Machine] = []
         for i in range(n_client_machines):
             name = CLIENT_NAMES[i] if i < len(CLIENT_NAMES) else f"client{i+1}"
-            client = Machine(self.engine, name, n_cores=2)
+            client = Machine(self.engine, name, n_cores=2,
+                             causal=self.causal)
             self.fabric.attach(client)
             self.clients.append(client)
 
